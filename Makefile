@@ -1,0 +1,32 @@
+# Convenience targets for the SVR reproduction.
+
+GO ?= go
+
+.PHONY: all test race bench evaluate fuzz vet fmt cover
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at full scale into results_full.txt.
+evaluate:
+	$(GO) run ./cmd/svrsim all | tee results_full.txt
+
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/isa/
+	$(GO) test -fuzz FuzzInstrString -fuzztime 15s ./internal/isa/
+	$(GO) test -fuzz FuzzReadWrite -fuzztime 15s ./internal/mem/
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+cover:
+	$(GO) test -cover ./internal/...

@@ -1,0 +1,346 @@
+// Command svrsim runs the Scalar Vector Runahead evaluation: any table or
+// figure of the paper, a full sweep, or a single workload on a single
+// machine with detailed statistics.
+//
+// Usage:
+//
+//	svrsim list                      # experiments and workloads
+//	svrsim run <experiment> [flags]  # regenerate one table/figure
+//	svrsim all [flags]               # regenerate everything
+//	svrsim workload <name> [flags]   # one workload, one machine, details
+//	svrsim disasm <workload>         # kernel disassembly
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/cpu/inorder"
+	"repro/internal/emu"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/svr"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	err := dispatch(os.Stdout, os.Args[1], os.Args[2:])
+	if err == errUnknownCommand {
+		fmt.Fprintf(os.Stderr, "svrsim: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svrsim:", err)
+		os.Exit(1)
+	}
+}
+
+// errUnknownCommand signals main to print usage and exit 2.
+var errUnknownCommand = fmt.Errorf("unknown command")
+
+// dispatch routes a subcommand; all output goes to w (tests inject a
+// buffer).
+func dispatch(w io.Writer, cmd string, args []string) error {
+	switch cmd {
+	case "list":
+		return cmdList(w)
+	case "run":
+		return cmdRun(w, args)
+	case "all":
+		return cmdAll(w, args)
+	case "workload":
+		return cmdWorkload(w, args)
+	case "disasm":
+		return cmdDisasm(w, args)
+	case "trace":
+		return cmdTrace(w, args)
+	case "compare":
+		return cmdCompare(w, args)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	}
+	return errUnknownCommand
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `svrsim — Scalar Vector Runahead (MICRO 2024) reproduction
+
+  svrsim list                      experiments and workloads
+  svrsim run <experiment> [flags]  regenerate one table/figure
+  svrsim all [flags]               regenerate every experiment
+  svrsim workload <name> [flags]   simulate one workload in detail
+  svrsim disasm <workload>         print a kernel's assembly
+  svrsim trace <workload> [flags]  dump pipeline + runahead events
+  svrsim compare <workload>        one workload on every machine, side by side
+
+run/all flags:
+  -quick             small inputs and short windows
+  -csv               emit tables as CSV for plotting
+  -workloads a,b,c   restrict to named workloads
+  -measure N         measured instructions per run
+  -warmup N          warmup instructions per run
+`)
+}
+
+func expFlags(args []string) (sim.ExpParams, []string, error) {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	csvF := fs.Bool("csv", false, "emit tables as CSV")
+	quickF := fs.Bool("quick", false, "small inputs, short windows")
+	wls := fs.String("workloads", "", "comma-separated workload filter")
+	measure := fs.Uint64("measure", 0, "measured instructions")
+	warmup := fs.Uint64("warmup", 0, "warmup instructions")
+	if err := fs.Parse(args); err != nil {
+		return sim.ExpParams{}, nil, err
+	}
+	p := sim.ExpParams{Params: sim.DefaultParams()}
+	if *quickF {
+		p.Params = sim.QuickParams()
+	}
+	if *measure > 0 {
+		p.Measure = *measure
+	}
+	if *warmup > 0 {
+		p.Warmup = *warmup
+	}
+	if *wls != "" {
+		p.Workloads = strings.Split(*wls, ",")
+	}
+	csvMode = *csvF
+	return p, fs.Args(), nil
+}
+
+// csvMode switches run/all output to CSV (set by expFlags).
+var csvMode bool
+
+func printReport(w io.Writer, r *sim.Report) {
+	if csvMode {
+		fmt.Fprint(w, r.CSV())
+		return
+	}
+	fmt.Fprint(w, r)
+}
+
+func cmdList(w io.Writer) error {
+	fmt.Fprintln(w, "experiments:")
+	for _, e := range sim.Experiments() {
+		fmt.Fprintf(w, "  %-10s %s\n", e.ID, e.Title)
+	}
+	fmt.Fprintln(w, "\nworkloads (evaluation set):")
+	for _, s := range workloads.Evaluation() {
+		fmt.Fprintf(w, "  %-10s %-6s %s\n", s.Name, s.Group, s.Desc)
+	}
+	fmt.Fprintln(w, "\nworkloads (SPEC proxies, fig14):")
+	fmt.Fprintln(w, "  "+strings.Join(workloads.SPECNames(), " "))
+	return nil
+}
+
+func cmdRun(w io.Writer, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("run: missing experiment id")
+	}
+	id := args[0]
+	p, _, err := expFlags(args[1:])
+	if err != nil {
+		return err
+	}
+	e, err := sim.GetExperiment(id)
+	if err != nil {
+		return err
+	}
+	printReport(w, e.Run(p))
+	return nil
+}
+
+func cmdAll(w io.Writer, args []string) error {
+	p, _, err := expFlags(args)
+	if err != nil {
+		return err
+	}
+	for _, e := range sim.Experiments() {
+		printReport(w, e.Run(p))
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func cmdWorkload(w io.Writer, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("workload: missing workload name")
+	}
+	name := args[0]
+	fs := flag.NewFlagSet("workload", flag.ContinueOnError)
+	coreF := fs.String("core", "svr", "core: inorder, imp, ooo, svr")
+	n := fs.Int("n", 16, "SVR vector length")
+	quickF := fs.Bool("quick", false, "small inputs")
+	jsonF := fs.Bool("json", false, "emit the full result record as JSON")
+	measure := fs.Uint64("measure", 0, "measured instructions")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	p := sim.DefaultParams()
+	if *quickF {
+		p = sim.QuickParams()
+	}
+	if *measure > 0 {
+		p.Measure = *measure
+	}
+
+	var cfg sim.Config
+	switch *coreF {
+	case "inorder":
+		cfg = sim.MachineConfig(sim.InO)
+	case "imp":
+		cfg = sim.MachineConfig(sim.IMP)
+	case "ooo":
+		cfg = sim.MachineConfig(sim.OoO)
+	case "svr":
+		cfg = sim.SVRConfig(*n)
+	default:
+		return fmt.Errorf("unknown core %q", *coreF)
+	}
+
+	res, err := sim.RunByName(name, cfg, p)
+	if err != nil {
+		return err
+	}
+	if *jsonF {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Fprintf(w, "workload   %s on %s\n", res.Workload, res.Label)
+	fmt.Fprintf(w, "instrs     %d\n", res.Instrs)
+	fmt.Fprintf(w, "cycles     %d\n", res.Cycles)
+	fmt.Fprintf(w, "IPC        %.3f   CPI %.3f\n", res.IPC, res.CPI)
+	fmt.Fprintf(w, "CPI stack  %s\n", res.Stack.String())
+	fmt.Fprintf(w, "energy     %.2f nJ/instr, core power %.3f W\n",
+		res.Energy.NJPerInstr, res.Energy.CorePowerW)
+	fmt.Fprintf(w, "DRAM loads demand=%d stride=%d imp=%d svr=%d (writebacks %d)\n",
+		res.DRAMLoads[cache.OriginDemand], res.DRAMLoads[cache.OriginStride],
+		res.DRAMLoads[cache.OriginIMP], res.DRAMLoads[cache.OriginSVR], res.Writebacks)
+	if cfg.Core == sim.SVR {
+		s := res.SVRStats
+		fmt.Fprintf(w, "SVR        rounds=%d svis=%d scalars=%d timeouts=%d nested=%d retargets=%d chains=%d masked=%d bans=%d\n",
+			s.Rounds, s.SVIs, s.Scalars, s.Timeouts, s.NestedAborts, s.Retargets, s.ChainStarts, s.MaskedLanes, s.Bans)
+		pf := res.PFStats[cache.OriginSVR]
+		fmt.Fprintf(w, "prefetch   issued=%d used=%d evicted-unused=%d accuracy=%.1f%%\n",
+			pf.Issued, pf.Used, pf.EvictedUnused, pf.Accuracy()*100)
+	}
+	if cfg.Core == sim.IMP {
+		pf := res.PFStats[cache.OriginIMP]
+		fmt.Fprintf(w, "prefetch   issued=%d used=%d evicted-unused=%d accuracy=%.1f%%\n",
+			pf.Issued, pf.Used, pf.EvictedUnused, pf.Accuracy()*100)
+	}
+	return nil
+}
+
+func cmdCompare(w io.Writer, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("compare: missing workload name")
+	}
+	name := args[0]
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	quickF := fs.Bool("quick", false, "small inputs")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	p := sim.DefaultParams()
+	if *quickF {
+		p = sim.QuickParams()
+	}
+	cfgs := []sim.Config{
+		sim.MachineConfig(sim.InO), sim.MachineConfig(sim.IMP),
+		sim.MachineConfig(sim.OoO), sim.SVRConfig(16), sim.SVRConfig(64),
+	}
+	t := stats.NewTable("machine", "CPI", "speedup", "nJ/instr", "core W", "DRAM loads")
+	chart := stats.NewBarChart("speedup over in-order", "x")
+	var base sim.Result
+	for i, cfg := range cfgs {
+		res, err := sim.RunByName(name, cfg, p)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			base = res
+		}
+		var dram int64
+		for _, v := range res.DRAMLoads {
+			dram += v
+		}
+		sp := base.CPI / res.CPI
+		t.AddRow(cfg.Label,
+			fmt.Sprintf("%.2f", res.CPI),
+			fmt.Sprintf("%.2fx", sp),
+			fmt.Sprintf("%.2f", res.Energy.NJPerInstr),
+			fmt.Sprintf("%.3f", res.Energy.CorePowerW),
+			fmt.Sprintf("%d", dram))
+		chart.Add(cfg.Label, sp)
+	}
+	fmt.Fprintf(w, "%s on every machine:\n%s\n%s", name, t, chart)
+	return nil
+}
+
+func cmdTrace(w io.Writer, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("trace: missing workload name")
+	}
+	name := args[0]
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	events := fs.Int("events", 120, "events to retain")
+	skip := fs.Uint64("skip", 20_000, "instructions to run before tracing")
+	window := fs.Uint64("window", 2_000, "instructions to trace")
+	n := fs.Int("n", 16, "SVR vector length")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	spec, err := workloads.Get(name)
+	if err != nil {
+		return err
+	}
+	inst := spec.Build(workloads.BenchScale())
+	cfg := sim.SVRConfig(*n)
+	h := cache.NewHierarchy(cfg.Hier)
+	core := inorder.New(cfg.InO, h)
+	cpu := emu.New(inst.Prog, inst.Mem)
+	eng := svr.New(cfg.SVR, h, cpu)
+	core.Companion = eng
+	core.Run(cpu, *skip)
+
+	ring := trace.NewRing(*events)
+	core.Tracer = ring
+	eng.Tracer = ring
+	core.Run(cpu, *window)
+
+	fmt.Fprintf(w, "trace of %s (SVR-%d), %d instructions after skipping %d:\n\n",
+		name, *n, *window, *skip)
+	if err := ring.Dump(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwindow summary: %s (%d events total)\n", ring.Summary(), ring.Total())
+	return nil
+}
+
+func cmdDisasm(w io.Writer, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("disasm: missing workload name")
+	}
+	spec, err := workloads.Get(args[0])
+	if err != nil {
+		return err
+	}
+	inst := spec.Build(workloads.TinyScale())
+	fmt.Fprint(w, inst.Prog.Disasm())
+	return nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, cmd string, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := dispatch(&b, cmd, args); err != nil {
+		t.Fatalf("%s %v: %v", cmd, args, err)
+	}
+	return b.String()
+}
+
+func TestList(t *testing.T) {
+	out := runCmd(t, "list")
+	for _, want := range []string{"fig1", "fig17", "ablations", "multicore",
+		"PR_KR", "Randacc", "bwaves"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	out := runCmd(t, "run", "table2")
+	if !strings.Contains(out, "2.17") || !strings.Contains(out, "SVR-128") {
+		t.Errorf("table2 output:\n%s", out)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	out := runCmd(t, "run", "table1")
+	if !strings.Contains(out, "Stalls the main thread") {
+		t.Errorf("table1 output:\n%s", out)
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	out := runCmd(t, "run", "table2", "-csv")
+	csvMode = false // reset the global for other tests
+	if !strings.Contains(out, "config,bits,KiB") {
+		t.Errorf("csv output:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := dispatch(&b, "run", []string{"nope"}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestRunMissingArg(t *testing.T) {
+	var b strings.Builder
+	if err := dispatch(&b, "run", nil); err == nil {
+		t.Fatal("expected error for missing experiment id")
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	out := runCmd(t, "disasm", "NAS-IS")
+	if !strings.Contains(out, "ld32") || !strings.Contains(out, "loop:") {
+		t.Errorf("disasm output:\n%s", out)
+	}
+}
+
+func TestWorkloadCommand(t *testing.T) {
+	out := runCmd(t, "workload", "NAS-IS", "-core", "svr", "-quick", "-measure", "50000")
+	for _, want := range []string{"CPI", "SVR", "prefetch", "rounds="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("workload output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkloadBadCore(t *testing.T) {
+	var b strings.Builder
+	if err := dispatch(&b, "workload", []string{"NAS-IS", "-core", "zzz"}); err == nil {
+		t.Fatal("expected error for unknown core")
+	}
+}
+
+func TestTraceCommand(t *testing.T) {
+	out := runCmd(t, "trace", "NAS-IS", "-events", "16", "-skip", "20000", "-window", "200")
+	if !strings.Contains(out, "window summary") || !strings.Contains(out, "issue") {
+		t.Errorf("trace output:\n%s", out)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	var b strings.Builder
+	if err := dispatch(&b, "frobnicate", nil); err != errUnknownCommand {
+		t.Fatalf("err = %v, want errUnknownCommand", err)
+	}
+}
+
+func TestRunExperimentQuickSubset(t *testing.T) {
+	out := runCmd(t, "run", "fig3", "-quick", "-workloads", "NAS-IS,PR_KR")
+	if !strings.Contains(out, "mem-dram CPI") {
+		t.Errorf("fig3 output:\n%s", out)
+	}
+}
+
+func TestWorkloadJSON(t *testing.T) {
+	out := runCmd(t, "workload", "NAS-IS", "-quick", "-json", "-measure", "50000")
+	var res map[string]any
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if res["Workload"] != "NAS-IS" || res["CPI"] == nil {
+		t.Errorf("JSON fields missing: %v", res)
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Scalar Vector
+// Runahead" (Roelandts et al., MICRO 2024): a cycle-level simulation of an
+// in-order core extended with piggyback runahead, its out-of-order and
+// IMP-prefetcher baselines, the paper's workload suite, and a benchmark
+// harness that regenerates every table and figure of the evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package repro

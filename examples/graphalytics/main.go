@@ -1,0 +1,55 @@
+// Graphalytics: the paper's motivating scenario — graph analytics on an
+// energy-efficient edge core. Runs PageRank and BFS across all five graph
+// inputs (Kronecker, LiveJournal-like, Orkut-like, Twitter-like, uniform
+// random) and reports how SVR changes the per-input picture: CPI, energy,
+// prefetch accuracy and where the DRAM traffic comes from.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	p := sim.QuickParams()
+	inputs := []string{"KR", "LJN", "ORK", "TW", "UR"}
+
+	for _, kernel := range []string{"PR", "BFS"} {
+		fmt.Printf("== %s across graph inputs ==\n", kernel)
+		t := stats.NewTable("input", "in-order CPI", "SVR16 CPI", "speedup",
+			"SVR nJ/i vs base", "SVR accuracy", "demand misses left")
+		for _, in := range inputs {
+			name := kernel + "_" + in
+			base, err := sim.RunByName(name, sim.MachineConfig(sim.InO), p)
+			if err != nil {
+				panic(err)
+			}
+			svr, err := sim.RunByName(name, sim.SVRConfig(16), p)
+			if err != nil {
+				panic(err)
+			}
+			pf := svr.PFStats[cache.OriginSVR]
+			baseMisses := base.DRAMLoads[cache.OriginDemand]
+			left := "n/a"
+			if baseMisses > 0 {
+				left = fmt.Sprintf("%.0f%%",
+					100*float64(svr.DRAMLoads[cache.OriginDemand])/float64(baseMisses))
+			}
+			t.AddRow(in,
+				fmt.Sprintf("%.2f", base.CPI),
+				fmt.Sprintf("%.2f", svr.CPI),
+				fmt.Sprintf("%.2fx", base.CPI/svr.CPI),
+				fmt.Sprintf("%.2f", svr.Energy.NJPerInstr/base.Energy.NJPerInstr),
+				fmt.Sprintf("%.0f%%", pf.Accuracy()*100),
+				left)
+		}
+		fmt.Print(t)
+		fmt.Println()
+	}
+	fmt.Println("The skewed inputs (KR, TW) have short, irregular inner loops; the")
+	fmt.Println("loop-bound tournament keeps SVR accurate there, while the uniform input")
+	fmt.Println("(UR) stresses timeliness instead. See `svrsim run fig13a`.")
+}

@@ -1,0 +1,118 @@
+// Package bpred implements the hybrid local/global branch predictor of
+// Table III (10-cycle misprediction penalty). It is a classic tournament:
+// a gshare global component, a two-level local component, and a chooser of
+// 2-bit counters trained toward whichever component was right.
+package bpred
+
+// Predictor is a tournament branch predictor. The zero value is not
+// usable; call New.
+type Predictor struct {
+	globalHist uint64
+	gshare     []uint8 // 2-bit saturating counters
+	localHist  []uint16
+	local      []uint8 // 2-bit counters indexed by local history
+	chooser    []uint8 // 2-bit: >=2 selects global
+
+	histBits  uint
+	localBits uint
+
+	Lookups    int64
+	Mispredict int64
+}
+
+// New builds a predictor with 2^tableBits-entry tables. tableBits 12 gives
+// a realistic small-core predictor (4 K entries per component).
+func New(tableBits uint) *Predictor {
+	n := 1 << tableBits
+	p := &Predictor{
+		gshare:    make([]uint8, n),
+		localHist: make([]uint16, n),
+		local:     make([]uint8, n),
+		chooser:   make([]uint8, n),
+		histBits:  tableBits,
+		localBits: 10,
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 1 // weakly not-taken
+		p.local[i] = 1
+		p.chooser[i] = 2 // weakly global
+	}
+	return p
+}
+
+func (p *Predictor) gIndex(pc int) int {
+	return (pc ^ int(p.globalHist)) & (len(p.gshare) - 1)
+}
+
+func (p *Predictor) lIndex(pc int) int {
+	h := p.localHist[pc&(len(p.localHist)-1)]
+	return (pc ^ int(h)<<2) & (len(p.local) - 1)
+}
+
+// Predict returns the predicted direction for the branch at pc, then
+// trains all components with the actual outcome and reports whether the
+// prediction was wrong.
+func (p *Predictor) Predict(pc int, taken bool) (mispredicted bool) {
+	p.Lookups++
+	gi, li := p.gIndex(pc), p.lIndex(pc)
+	ci := pc & (len(p.chooser) - 1)
+
+	gPred := p.gshare[gi] >= 2
+	lPred := p.local[li] >= 2
+	pred := lPred
+	if p.chooser[ci] >= 2 {
+		pred = gPred
+	}
+
+	// Train chooser toward the component that was correct.
+	if gPred != lPred {
+		if gPred == taken {
+			if p.chooser[ci] < 3 {
+				p.chooser[ci]++
+			}
+		} else if p.chooser[ci] > 0 {
+			p.chooser[ci]--
+		}
+	}
+	train(&p.gshare[gi], taken)
+	train(&p.local[li], taken)
+
+	// Update histories.
+	p.globalHist = (p.globalHist<<1 | b2u(taken)) & ((1 << p.histBits) - 1)
+	lh := &p.localHist[pc&(len(p.localHist)-1)]
+	*lh = (*lh<<1 | uint16(b2u(taken))) & ((1 << p.localBits) - 1)
+
+	if pred != taken {
+		p.Mispredict++
+		return true
+	}
+	return false
+}
+
+// MispredictRate returns mispredictions per lookup.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredict) / float64(p.Lookups)
+}
+
+// ResetStats clears counters but keeps learned state (for warmup).
+func (p *Predictor) ResetStats() { p.Lookups, p.Mispredict = 0, 0 }
+
+func train(c *uint8, taken bool) {
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

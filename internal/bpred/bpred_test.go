@@ -1,0 +1,105 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	p := New(12)
+	for i := 0; i < 1000; i++ {
+		p.Predict(100, true)
+	}
+	p.ResetStats()
+	for i := 0; i < 1000; i++ {
+		p.Predict(100, true)
+	}
+	if p.Mispredict != 0 {
+		t.Errorf("always-taken branch mispredicted %d times after training", p.Mispredict)
+	}
+}
+
+func TestLoopPatternLearned(t *testing.T) {
+	// Taken 7 times, not-taken once, repeatedly: local history should
+	// catch the exit.
+	p := New(12)
+	run := func() int64 {
+		p.ResetStats()
+		for rep := 0; rep < 400; rep++ {
+			for i := 0; i < 7; i++ {
+				p.Predict(200, true)
+			}
+			p.Predict(200, false)
+		}
+		return p.Mispredict
+	}
+	run() // warmup
+	miss := run()
+	// 3200 branches; a learned 7T/1N pattern should miss well under 10%.
+	if miss > 320 {
+		t.Errorf("loop pattern mispredicts = %d / 3200", miss)
+	}
+}
+
+func TestAlternatingPattern(t *testing.T) {
+	p := New(12)
+	for i := 0; i < 2000; i++ {
+		p.Predict(300, i%2 == 0)
+	}
+	p.ResetStats()
+	for i := 0; i < 2000; i++ {
+		p.Predict(300, i%2 == 0)
+	}
+	if rate := p.MispredictRate(); rate > 0.05 {
+		t.Errorf("alternating pattern rate = %v", rate)
+	}
+}
+
+func TestRandomIsHard(t *testing.T) {
+	p := New(12)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		p.Predict(400, rng.Intn(2) == 0)
+	}
+	if rate := p.MispredictRate(); rate < 0.35 {
+		t.Errorf("random branches predicted too well: %v", rate)
+	}
+}
+
+func TestCorrelatedBranches(t *testing.T) {
+	// Branch B always equals branch A's last outcome: global history
+	// should learn it.
+	p := New(12)
+	rng := rand.New(rand.NewSource(7))
+	var missB int64
+	for phase := 0; phase < 2; phase++ {
+		missB = 0
+		for i := 0; i < 5000; i++ {
+			a := rng.Intn(2) == 0
+			p.Predict(500, a)
+			if p.Predict(501, a) {
+				missB++
+			}
+		}
+	}
+	if missB > 1000 {
+		t.Errorf("correlated branch missed %d / 5000", missB)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	p := New(10)
+	for i := 0; i < 10; i++ {
+		p.Predict(1, true)
+	}
+	if p.Lookups != 10 {
+		t.Errorf("lookups = %d", p.Lookups)
+	}
+	p.ResetStats()
+	if p.Lookups != 0 || p.Mispredict != 0 {
+		t.Error("ResetStats did not clear")
+	}
+	if p.MispredictRate() != 0 {
+		t.Error("rate on zero lookups should be 0")
+	}
+}

@@ -1,0 +1,263 @@
+// Package cache models the on-chip memory system: set-associative
+// write-back caches with MSHRs and prefetch tags, TLBs with a page-walker
+// pool, a reference-prediction-table stride prefetcher, and the Hierarchy
+// that stitches them to the DRAM channel.
+//
+// Timing is occupancy-based: each access computes its completion cycle at
+// issue from the current state of the MSHRs, page walkers and DRAM
+// channel. This captures the first-order limits the paper studies —
+// hit-under-miss MSHR saturation (Fig 17) and bandwidth saturation
+// (Fig 18) — without a discrete-event queue.
+package cache
+
+import "fmt"
+
+// Origin identifies who caused a memory request; used for the DRAM-origin
+// breakdown of Fig 13b and for prefetch-accuracy accounting (Fig 13a).
+type Origin int
+
+// Request origins.
+const (
+	OriginDemand Origin = iota // main-thread demand access
+	OriginStride               // baseline L1D stride prefetcher
+	OriginIMP                  // indirect memory prefetcher
+	OriginSVR                  // scalar vector runahead
+	OriginPTW                  // page-table walk
+	NumOrigins
+)
+
+var originNames = [NumOrigins]string{"demand", "stride", "imp", "svr", "ptw"}
+
+// String returns the origin label used in counters.
+func (o Origin) String() string {
+	if o >= 0 && int(o) < len(originNames) {
+		return originNames[o]
+	}
+	return fmt.Sprintf("origin(%d)", int(o))
+}
+
+// LineBits is log2 of the cache-line size (64 B, Table III).
+const LineBits = 6
+
+// LineSize is the cache-line size in bytes.
+const LineSize = 1 << LineBits
+
+type line struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	lastUse  uint64 // LRU timestamp
+	prefetch Origin // origin that prefetched the line, or -1
+	touched  bool   // demand-accessed since fill
+}
+
+// Cache is one level of set-associative, write-back, write-allocate cache.
+type Cache struct {
+	Name     string
+	sets     []line // ways*numSets entries, set-major
+	ways     int
+	setMask  uint64
+	setBits  uint
+	lruClock uint64
+
+	// MSHRs: outstanding fills, as (line address, ready cycle) pairs.
+	mshrs   []mshrEntry
+	mshrCap int
+
+	// Stats.
+	Accesses        int64
+	Misses          int64
+	MSHRStallCycles int64
+}
+
+type mshrEntry struct {
+	lineAddr uint64
+	readyAt  int64
+}
+
+// NewCache builds a cache of the given total size, associativity and MSHR
+// count. Size must be a power-of-two multiple of ways*LineSize.
+func NewCache(name string, sizeBytes, ways, mshrs int) *Cache {
+	numLines := sizeBytes / LineSize
+	numSets := numLines / ways
+	if numSets == 0 || numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry size=%d ways=%d", name, sizeBytes, ways))
+	}
+	setBits := uint(0)
+	for 1<<setBits < numSets {
+		setBits++
+	}
+	c := &Cache{
+		Name:    name,
+		sets:    make([]line, numLines),
+		ways:    ways,
+		setMask: uint64(numSets - 1),
+		setBits: setBits,
+		mshrCap: mshrs,
+	}
+	for i := range c.sets {
+		c.sets[i].prefetch = -1
+	}
+	return c
+}
+
+func (c *Cache) set(addr uint64) []line {
+	idx := (addr >> LineBits) & c.setMask
+	return c.sets[idx*uint64(c.ways) : (idx+1)*uint64(c.ways)]
+}
+
+func (c *Cache) tag(addr uint64) uint64 { return addr >> (LineBits + c.setBits) }
+
+// Lookup probes the cache without filling. On hit it refreshes LRU state,
+// marks the line touched, and reports any prefetch origin the line carried
+// (clearing it, since a prefetch counts as useful on first demand touch
+// when markTouched is set).
+func (c *Cache) Lookup(addr uint64, write, markTouched bool) (hit bool, wasPrefetch Origin) {
+	c.Accesses++
+	tag := c.tag(addr)
+	set := c.set(addr)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			c.lruClock++
+			l.lastUse = c.lruClock
+			if write {
+				l.dirty = true
+			}
+			pf := l.prefetch
+			if markTouched {
+				l.touched = true
+				l.prefetch = -1
+			}
+			return true, pf
+		}
+	}
+	c.Misses++
+	return false, -1
+}
+
+// Peek reports whether the line is present, with no state change.
+func (c *Cache) Peek(addr uint64) bool {
+	tag := c.tag(addr)
+	for _, l := range c.set(addr) {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Victim describes a line evicted by Fill.
+type Victim struct {
+	Valid    bool
+	Dirty    bool
+	Addr     uint64 // line-aligned address of the evicted line
+	Prefetch Origin // prefetch origin if never demand-touched, else -1
+	Touched  bool
+}
+
+// Fill installs the line containing addr, evicting the LRU way if needed.
+// prefetchOrigin < 0 marks a demand fill.
+func (c *Cache) Fill(addr uint64, dirty bool, prefetchOrigin Origin) Victim {
+	tag := c.tag(addr)
+	set := c.set(addr)
+	vi := 0
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			// Already present (raced fill); just update.
+			if dirty {
+				l.dirty = true
+			}
+			return Victim{}
+		}
+		if !l.valid {
+			vi = i
+		} else if set[vi].valid && l.lastUse < set[vi].lastUse {
+			vi = i
+		}
+	}
+	v := &set[vi]
+	victim := Victim{}
+	if v.valid {
+		victim = Victim{
+			Valid:    true,
+			Dirty:    v.dirty,
+			Addr:     (v.tag<<c.setBits | ((addr >> LineBits) & c.setMask)) << LineBits,
+			Prefetch: v.prefetch,
+			Touched:  v.touched,
+		}
+	}
+	c.lruClock++
+	*v = line{tag: tag, valid: true, dirty: dirty, lastUse: c.lruClock, prefetch: prefetchOrigin, touched: false}
+	return victim
+}
+
+// pruneMSHRs drops entries whose fill completed at or before cycle at.
+func (c *Cache) pruneMSHRs(at int64) {
+	keep := c.mshrs[:0]
+	for _, e := range c.mshrs {
+		if e.readyAt > at {
+			keep = append(keep, e)
+		}
+	}
+	c.mshrs = keep
+}
+
+// MSHRLookup returns the ready time of an in-flight fill for the line, if any.
+func (c *Cache) MSHRLookup(addr uint64, at int64) (int64, bool) {
+	lineAddr := addr &^ (LineSize - 1)
+	for _, e := range c.mshrs {
+		if e.lineAddr == lineAddr && e.readyAt > at {
+			return e.readyAt, true
+		}
+	}
+	return 0, false
+}
+
+// MSHRAcquire reserves an MSHR for a new outstanding miss beginning at
+// cycle at. If all MSHRs are busy the request waits for the earliest one
+// to free; the returned start time reflects that stall. Call
+// MSHRComplete to set the fill time once known.
+func (c *Cache) MSHRAcquire(addr uint64, at int64) (start int64, idx int) {
+	c.pruneMSHRs(at)
+	start = at
+	for len(c.mshrs) >= c.mshrCap {
+		earliest := c.mshrs[0].readyAt
+		for _, e := range c.mshrs[1:] {
+			if e.readyAt < earliest {
+				earliest = e.readyAt
+			}
+		}
+		c.MSHRStallCycles += earliest - start
+		start = earliest
+		c.pruneMSHRs(start)
+	}
+	c.mshrs = append(c.mshrs, mshrEntry{lineAddr: addr &^ (LineSize - 1), readyAt: int64(1) << 62})
+	return start, len(c.mshrs) - 1
+}
+
+// MSHRComplete records the fill completion time for the entry returned by
+// MSHRAcquire.
+func (c *Cache) MSHRComplete(idx int, readyAt int64) {
+	c.mshrs[idx].readyAt = readyAt
+}
+
+// MSHROccupancy returns the number of outstanding misses at cycle at.
+func (c *Cache) MSHROccupancy(at int64) int {
+	n := 0
+	for _, e := range c.mshrs {
+		if e.readyAt > at {
+			n++
+		}
+	}
+	return n
+}
+
+// MissRate returns misses/accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

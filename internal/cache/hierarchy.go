@@ -1,0 +1,325 @@
+package cache
+
+import (
+	"repro/internal/dram"
+)
+
+// Level identifies where an access was satisfied.
+type Level int
+
+// Service levels.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelMem
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	default:
+		return "mem"
+	}
+}
+
+// Result reports the outcome of a memory access.
+type Result struct {
+	CompleteAt int64 // cycle the data is available to the consumer
+	Level      Level // where the data came from
+}
+
+// Config sizes the hierarchy. DefaultConfig matches Table III.
+type Config struct {
+	L1Size, L1Ways, L1MSHRs int
+	L1Latency               int64
+	L1ISize, L1IWays        int
+	L2Size, L2Ways          int
+	L2Latency               int64
+
+	DTLBEntries           int
+	STLBEntries, STLBWays int
+	STLBLatency           int64
+	NumPTWs               int
+	WalkLatency           int64
+
+	// StrideDegree is the baseline L1-D stride prefetcher's degree;
+	// 0 disables it.
+	StrideDegree int
+
+	DRAM dram.Config
+}
+
+// DefaultConfig returns the Table III memory system: 64 KiB 4-way L1-D
+// with 16 MSHRs and a stride prefetcher, 512 KiB 8-way L2, 16-entry
+// fully-associative D-TLB, 2048-entry 8-way S-TLB, 4 page-table walkers,
+// 45 ns / 50 GiB/s DRAM.
+func DefaultConfig() Config {
+	return Config{
+		L1Size: 64 << 10, L1Ways: 4, L1MSHRs: 16, L1Latency: 3,
+		L1ISize: 64 << 10, L1IWays: 4,
+		L2Size: 512 << 10, L2Ways: 8, L2Latency: 13,
+		DTLBEntries: 16,
+		STLBEntries: 2048, STLBWays: 8, STLBLatency: 4,
+		NumPTWs: 4, WalkLatency: 30,
+		StrideDegree: 4,
+		DRAM:         dram.DefaultConfig(),
+	}
+}
+
+// Hierarchy is the full data-side memory system.
+type Hierarchy struct {
+	Cfg     Config
+	L1D     *Cache
+	L1I     *Cache
+	L2      *Cache
+	DTLB    *TLB
+	ITLB    *TLB
+	STLB    *TLB
+	Walkers *WalkerPool
+	DRAM    *dram.Channel
+	Stride  *StridePrefetcher
+	Tracker *Tracker
+
+	// DRAMLoads counts data-side line fetches from DRAM by origin
+	// (Fig 13b).
+	DRAMLoads [NumOrigins]int64
+	// IFetchLoads counts instruction-side line fetches from DRAM
+	// (Fig 13b's "Core(inst)" category).
+	IFetchLoads int64
+	// Writebacks counts dirty-line writebacks to DRAM.
+	Writebacks int64
+
+	lastILine uint64 // last fetched instruction line (fetch-ahead state)
+	pfBuf     []uint64
+}
+
+// NewHierarchy builds the memory system from a configuration.
+func NewHierarchy(cfg Config) *Hierarchy {
+	return NewHierarchyShared(cfg, dram.New(cfg.DRAM))
+}
+
+// NewHierarchyShared builds a per-core memory system that shares an
+// externally owned DRAM channel — the substrate for the multi-core
+// experiment suggested by §VI-E (per-core caches, one memory interface).
+func NewHierarchyShared(cfg Config, ch *dram.Channel) *Hierarchy {
+	h := &Hierarchy{
+		Cfg:     cfg,
+		L1D:     NewCache("L1D", cfg.L1Size, cfg.L1Ways, cfg.L1MSHRs),
+		L1I:     NewCache("L1I", cfg.L1ISize, cfg.L1IWays, 4),
+		L2:      NewCache("L2", cfg.L2Size, cfg.L2Ways, 32),
+		DTLB:    NewTLB("DTLB", cfg.DTLBEntries, cfg.DTLBEntries), // fully associative
+		ITLB:    NewTLB("ITLB", cfg.DTLBEntries, cfg.DTLBEntries), // fully associative
+		STLB:    NewTLB("STLB", cfg.STLBEntries, cfg.STLBWays),
+		Walkers: NewWalkerPool(cfg.NumPTWs, cfg.WalkLatency),
+		DRAM:    ch,
+		Tracker: NewTracker(),
+	}
+	if cfg.StrideDegree > 0 {
+		h.Stride = NewStridePrefetcher(64, cfg.StrideDegree)
+	}
+	return h
+}
+
+// translate runs the TLB/PTW path and returns the cycle at which the
+// physical address is known.
+func (h *Hierarchy) translate(addr uint64, at int64) int64 {
+	if h.DTLB.Lookup(addr) {
+		return at // D-TLB hit is pipelined with the L1 access
+	}
+	if h.STLB.Lookup(addr) {
+		h.DTLB.Insert(addr)
+		return at + h.Cfg.STLBLatency
+	}
+	done := h.Walkers.Walk(at + h.Cfg.STLBLatency)
+	h.STLB.Insert(addr)
+	h.DTLB.Insert(addr)
+	return done
+}
+
+// fetchLine brings the line for addr to L1 (and L2 if it came from DRAM),
+// starting at cycle at. It assumes the line is not in L1 and no L1 MSHR is
+// in flight for it. origin < NumOrigins tags prefetch fills. Returns the
+// fill-complete time and the service level.
+func (h *Hierarchy) fetchLine(addr uint64, write bool, at int64, origin Origin, demand bool) Result {
+	start, mshr := h.L1D.MSHRAcquire(addr, at)
+	probeAt := start + h.Cfg.L1Latency
+
+	var fill int64
+	var lvl Level
+	if hit, _ := h.L2.Lookup(addr, false, demand); hit {
+		fill = probeAt + h.Cfg.L2Latency
+		lvl = LevelL2
+	} else {
+		fill = h.DRAM.Access(probeAt + h.Cfg.L2Latency)
+		lvl = LevelMem
+		h.DRAMLoads[origin]++
+		pfOrigin := Origin(-1)
+		if !demand {
+			pfOrigin = origin
+			h.Tracker.Mark(addr, origin)
+		}
+		if v := h.L2.Fill(addr, false, pfOrigin); v.Valid {
+			h.Tracker.Evict(v.Addr)
+			if v.Dirty {
+				h.DRAM.Access(fill)
+				h.Writebacks++
+			}
+		}
+	}
+
+	pfOrigin := Origin(-1)
+	if !demand {
+		pfOrigin = origin
+	}
+	if v := h.L1D.Fill(addr, write && demand, pfOrigin); v.Valid && v.Dirty {
+		// Dirty L1 victim falls back to L2.
+		if v2 := h.L2.Fill(v.Addr, true, -1); v2.Valid {
+			h.Tracker.Evict(v2.Addr)
+			if v2.Dirty {
+				h.DRAM.Access(fill)
+				h.Writebacks++
+			}
+		}
+	}
+	h.L1D.MSHRComplete(mshr, fill)
+	return Result{CompleteAt: fill, Level: lvl}
+}
+
+// Access performs a demand load or store issued at cycle at by the
+// instruction at pc. It drives the stride prefetcher, prefetch-tag
+// accounting, TLB and MSHR occupancy.
+func (h *Hierarchy) Access(pc int, addr uint64, write bool, at int64) Result {
+	t := h.translate(addr, at)
+	h.Tracker.Touch(addr)
+
+	res := h.demandAccess(addr, write, t)
+
+	if h.Stride != nil && !write {
+		h.pfBuf = h.pfBuf[:0]
+		for _, pa := range h.Stride.Observe(pc, addr, h.pfBuf) {
+			h.Prefetch(pa, at, OriginStride)
+		}
+	}
+	return res
+}
+
+func (h *Hierarchy) demandAccess(addr uint64, write bool, t int64) Result {
+	// An in-flight fill shadows the (already-installed) line contents:
+	// data is not usable before the fill completes.
+	ready, inflight := h.L1D.MSHRLookup(addr, t)
+	if hit, _ := h.L1D.Lookup(addr, write, true); hit {
+		if inflight {
+			return Result{CompleteAt: maxI64(ready, t+h.Cfg.L1Latency), Level: LevelMem}
+		}
+		return Result{CompleteAt: t + h.Cfg.L1Latency, Level: LevelL1}
+	}
+	if inflight {
+		// Secondary miss: merge with the in-flight fill.
+		return Result{CompleteAt: maxI64(ready, t+h.Cfg.L1Latency), Level: LevelMem}
+	}
+	return h.fetchLine(addr, write, t, OriginDemand, true)
+}
+
+// Prefetch requests the line containing addr on behalf of origin, issued
+// at cycle at. It returns when the line (and thus its data, for SVR lane
+// values) is available. Lines already present or in flight cost only the
+// L1 latency or the remaining fill time.
+func (h *Hierarchy) Prefetch(addr uint64, at int64, origin Origin) Result {
+	t := h.translate(addr, at)
+	ready, inflight := h.L1D.MSHRLookup(addr, t)
+	if h.L1D.Peek(addr) {
+		// Refresh LRU but do not clear prefetch tags: only demand
+		// touches count for accuracy.
+		h.L1D.Lookup(addr, false, false)
+		if inflight {
+			return Result{CompleteAt: maxI64(ready, t+h.Cfg.L1Latency), Level: LevelMem}
+		}
+		return Result{CompleteAt: t + h.Cfg.L1Latency, Level: LevelL1}
+	}
+	if inflight {
+		return Result{CompleteAt: ready, Level: LevelMem}
+	}
+	return h.fetchLine(addr, false, t, origin, false)
+}
+
+// FetchInstr models the instruction-fetch path for the instruction at
+// the given code address, issued at cycle at. Kernel loops live entirely
+// in the L1-I, so the common case is free (hit latency is hidden by
+// fetch-ahead); a miss stalls the front end for the fill.
+func (h *Hierarchy) FetchInstr(addr uint64, at int64) (bubble int64) {
+	if !h.ITLB.Lookup(addr) {
+		if h.STLB.Lookup(addr) {
+			bubble += h.Cfg.STLBLatency
+		} else {
+			done := h.Walkers.Walk(at + h.Cfg.STLBLatency)
+			h.STLB.Insert(addr)
+			bubble += done - at
+		}
+		h.ITLB.Insert(addr)
+	}
+	line := addr &^ (LineSize - 1)
+	if hit, _ := h.L1I.Lookup(addr, false, true); hit {
+		h.lastILine = line
+		return bubble
+	}
+	// I-miss: fill from L2 (or DRAM). Sequential fetch-ahead hides the
+	// latency of misses that continue straight-line execution — the
+	// front end requested the next line while draining its fetch queue —
+	// so only discontinuous misses (cold jumps) stall fetch.
+	sequential := line == h.lastILine+LineSize
+	fillStart := at + bubble + h.Cfg.L1Latency
+	var fill int64
+	if hit, _ := h.L2.Lookup(addr, false, true); hit {
+		fill = fillStart + h.Cfg.L2Latency
+	} else {
+		fill = h.DRAM.Access(fillStart + h.Cfg.L2Latency)
+		h.IFetchLoads++
+	}
+	h.L1I.Fill(addr, false, -1)
+	h.L1I.Fill(line+LineSize, false, -1) // next-line prefetch
+	h.lastILine = line
+	if sequential {
+		return bubble
+	}
+	return fill - at
+}
+
+// ResetStats clears event counters (after cache warmup) while preserving
+// cache, TLB and tracker contents.
+func (h *Hierarchy) ResetStats() {
+	h.L1D.Accesses, h.L1D.Misses, h.L1D.MSHRStallCycles = 0, 0, 0
+	h.L1I.Accesses, h.L1I.Misses = 0, 0
+	h.L2.Accesses, h.L2.Misses = 0, 0
+	h.DTLB.Accesses, h.DTLB.Misses = 0, 0
+	h.STLB.Accesses, h.STLB.Misses = 0, 0
+	h.Walkers.Walks, h.Walkers.StallCycles = 0, 0
+	h.DRAM.Lines, h.DRAM.BusyCycles = 0, 0
+	h.DRAMLoads = [NumOrigins]int64{}
+	h.IFetchLoads = 0
+	h.Writebacks = 0
+	h.Tracker.ResetStats()
+	if h.Stride != nil {
+		h.Stride.Issued = 0
+	}
+}
+
+// TotalDRAMLoads sums line fetches across origins, including the
+// instruction side.
+func (h *Hierarchy) TotalDRAMLoads() int64 {
+	n := h.IFetchLoads
+	for _, v := range h.DRAMLoads {
+		n += v
+	}
+	return n
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

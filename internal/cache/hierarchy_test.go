@@ -1,0 +1,193 @@
+package cache
+
+import (
+	"testing"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.StrideDegree = 0 // disable stride pf for deterministic tests
+	return cfg
+}
+
+func TestHierarchyColdMissThenHit(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	addr := uint64(0x100000)
+	r1 := h.Access(1, addr, false, 0)
+	if r1.Level != LevelMem {
+		t.Fatalf("cold access level = %v", r1.Level)
+	}
+	// First touch pays the TLB walk (4+30), L1+L2 probes (3+13) and DRAM
+	// latency (90 cycles @ 2 GHz / 45 ns) plus transfer time.
+	if r1.CompleteAt < 140 || r1.CompleteAt > 145 {
+		t.Errorf("cold miss latency = %d, want ~140", r1.CompleteAt)
+	}
+	r2 := h.Access(1, addr, false, r1.CompleteAt)
+	if r2.Level != LevelL1 {
+		t.Fatalf("second access level = %v, want L1", r2.Level)
+	}
+	if d := r2.CompleteAt - r1.CompleteAt; d != h.Cfg.L1Latency {
+		t.Errorf("L1 hit latency = %d", d)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	cfg := testConfig()
+	cfg.L1Size = 4 << 10 // tiny L1 so we can evict from it easily
+	h := NewHierarchy(cfg)
+	addr := uint64(0x100000)
+	r := h.Access(1, addr, false, 0)
+	// Evict addr from L1 by filling its set (4 ways, set stride 1 KiB).
+	for i := uint64(1); i <= 4; i++ {
+		h.Access(1, addr+i*1024, false, r.CompleteAt)
+	}
+	rr := h.Access(1, addr, false, 10000)
+	if rr.Level != LevelL2 {
+		t.Fatalf("level = %v, want L2 (inclusive hierarchy)", rr.Level)
+	}
+	if lat := rr.CompleteAt - 10000; lat != h.Cfg.L1Latency+h.Cfg.L2Latency {
+		t.Errorf("L2 hit latency = %d", lat)
+	}
+}
+
+func TestHierarchyMSHRMerge(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	addr := uint64(0x200000)
+	r1 := h.Access(1, addr, false, 0)
+	before := h.TotalDRAMLoads()
+	// Access to the same line while the fill is outstanding merges.
+	r2 := h.Access(1, addr+8, false, 5)
+	if h.TotalDRAMLoads() != before {
+		t.Error("secondary miss caused a second DRAM fetch")
+	}
+	if r2.CompleteAt != r1.CompleteAt {
+		t.Errorf("merged completion %d != primary %d", r2.CompleteAt, r1.CompleteAt)
+	}
+}
+
+func TestHierarchyMSHRLimitSerializesMisses(t *testing.T) {
+	cfg := testConfig()
+	cfg.L1MSHRs = 1
+	h := NewHierarchy(cfg)
+	r1 := h.Access(1, 0x100000, false, 0)
+	r2 := h.Access(2, 0x200000, false, 0)
+	if r2.CompleteAt <= r1.CompleteAt {
+		t.Errorf("with 1 MSHR the second miss must wait: %d <= %d", r2.CompleteAt, r1.CompleteAt)
+	}
+
+	cfg.L1MSHRs = 16
+	h2 := NewHierarchy(cfg)
+	a1 := h2.Access(1, 0x100000, false, 0)
+	a2 := h2.Access(2, 0x200000, false, 0)
+	// With plenty of MSHRs the misses overlap; only DRAM transfer
+	// occupancy (~3 cycles) separates them.
+	if d := a2.CompleteAt - a1.CompleteAt; d > 10 {
+		t.Errorf("16-MSHR misses should overlap, delta = %d", d)
+	}
+}
+
+func TestHierarchyPrefetchThenDemandHits(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	addr := uint64(0x300000)
+	p := h.Prefetch(addr, 0, OriginSVR)
+	if p.Level != LevelMem {
+		t.Fatalf("prefetch level = %v", p.Level)
+	}
+	if h.DRAMLoads[OriginSVR] != 1 {
+		t.Fatalf("svr dram loads = %d", h.DRAMLoads[OriginSVR])
+	}
+	r := h.Access(1, addr, false, p.CompleteAt+1)
+	if r.Level != LevelL1 {
+		t.Fatalf("demand after prefetch level = %v", r.Level)
+	}
+	if h.Tracker.Stats[OriginSVR].Used != 1 {
+		t.Error("prefetch use not recorded")
+	}
+}
+
+func TestHierarchyPrefetchDedup(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	addr := uint64(0x400000)
+	h.Prefetch(addr, 0, OriginSVR)
+	h.Prefetch(addr+8, 1, OriginSVR) // same line, in flight: merge
+	if h.DRAMLoads[OriginSVR] != 1 {
+		t.Errorf("duplicate prefetch fetched twice: %d", h.DRAMLoads[OriginSVR])
+	}
+	h.Prefetch(addr, 500, OriginSVR) // already filled: L1 hit
+	if h.DRAMLoads[OriginSVR] != 1 {
+		t.Errorf("prefetch of resident line fetched: %d", h.DRAMLoads[OriginSVR])
+	}
+}
+
+func TestHierarchyTLBMissCost(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	// Two accesses to the same line; first pays walk, second doesn't.
+	addr := uint64(0x500000)
+	r1 := h.Access(1, addr, false, 0)
+	h2 := NewHierarchy(testConfig())
+	h2.DTLB.Insert(addr)
+	h2.STLB.Insert(addr)
+	r2 := h2.Access(1, addr, false, 0)
+	if r1.CompleteAt <= r2.CompleteAt {
+		t.Errorf("TLB miss should cost extra: %d <= %d", r1.CompleteAt, r2.CompleteAt)
+	}
+	if d := r1.CompleteAt - r2.CompleteAt; d != h.Cfg.STLBLatency+h.Cfg.WalkLatency {
+		t.Errorf("walk cost = %d, want %d", d, h.Cfg.STLBLatency+h.Cfg.WalkLatency)
+	}
+	if h.Walkers.Walks != 1 {
+		t.Errorf("walks = %d", h.Walkers.Walks)
+	}
+}
+
+func TestHierarchyWritebacks(t *testing.T) {
+	cfg := testConfig()
+	cfg.L1Size = 1 << 10 // 1 KiB L1 (4 sets x 4 ways)
+	cfg.L2Size = 4 << 10 // 4 KiB L2 (8 sets x 8 ways)
+	h := NewHierarchy(cfg)
+	// Write a lot of distinct lines to force dirty evictions to DRAM.
+	at := int64(0)
+	for i := uint64(0); i < 512; i++ {
+		r := h.Access(1, 0x100000+i*64, true, at)
+		at = r.CompleteAt
+	}
+	if h.Writebacks == 0 {
+		t.Error("no writebacks after streaming dirty lines through a tiny hierarchy")
+	}
+}
+
+func TestHierarchyStridePrefetcherCovers(t *testing.T) {
+	cfg := DefaultConfig() // stride prefetcher on
+	h := NewHierarchy(cfg)
+	at := int64(0)
+	hits := 0
+	const n = 256
+	for i := 0; i < n; i++ {
+		r := h.Access(3, 0x800000+uint64(i)*8, false, at)
+		if r.Level == LevelL1 {
+			hits++
+		}
+		at = r.CompleteAt + 20
+	}
+	// A sequential walk with a stride prefetcher should mostly hit.
+	if hits < n/2 {
+		t.Errorf("stride-prefetched walk hit only %d/%d", hits, n)
+	}
+	if h.DRAMLoads[OriginStride] == 0 {
+		t.Error("stride prefetcher issued no DRAM fetches")
+	}
+}
+
+func TestHierarchyResetStats(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	h.Access(1, 0x100000, false, 0)
+	h.Prefetch(0x200000, 0, OriginSVR)
+	h.ResetStats()
+	if h.TotalDRAMLoads() != 0 || h.L1D.Accesses != 0 || h.Writebacks != 0 {
+		t.Error("stats not cleared")
+	}
+	// Contents preserved: the line should still hit.
+	r := h.Access(1, 0x100000, false, 1000)
+	if r.Level != LevelL1 {
+		t.Error("cache contents lost on ResetStats")
+	}
+}

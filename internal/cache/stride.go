@@ -1,0 +1,64 @@
+package cache
+
+// StridePrefetcher is the baseline L1-D stride prefetcher of Table III: a
+// reference prediction table (Chen & Baer) indexed by load PC. On a
+// confident striding load it prefetches a few iterations ahead. It covers
+// the sequential offset/neighbor-array walks of the graph kernels but not
+// the data-dependent indirect accesses — which is precisely the gap SVR
+// and IMP compete to fill.
+type StridePrefetcher struct {
+	entries []strideEntry
+	degree  int // lines prefetched ahead on a confident stride
+
+	Issued int64
+}
+
+type strideEntry struct {
+	pc       int
+	valid    bool
+	prevAddr uint64
+	stride   int64
+	conf     int8
+}
+
+// NewStridePrefetcher builds a table with the given entry count and
+// prefetch degree.
+func NewStridePrefetcher(entries, degree int) *StridePrefetcher {
+	return &StridePrefetcher{entries: make([]strideEntry, entries), degree: degree}
+}
+
+// Observe is called for every demand load. It returns the addresses the
+// prefetcher wants fetched (line-deduplicated, max degree).
+func (s *StridePrefetcher) Observe(pc int, addr uint64, dst []uint64) []uint64 {
+	e := &s.entries[pc%len(s.entries)]
+	if !e.valid || e.pc != pc {
+		*e = strideEntry{pc: pc, valid: true, prevAddr: addr}
+		return dst
+	}
+	stride := int64(addr) - int64(e.prevAddr)
+	if stride == e.stride && stride != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.conf = 0
+		e.stride = stride
+	}
+	e.prevAddr = addr
+
+	if e.conf < 2 {
+		return dst
+	}
+	// Confident: fetch the next `degree` distinct lines along the stride.
+	lastLine := addr >> LineBits
+	next := addr
+	for i := 0; i < 64 && len(dst) < s.degree; i++ {
+		next += uint64(e.stride)
+		if line := next >> LineBits; line != lastLine {
+			lastLine = line
+			dst = append(dst, next)
+			s.Issued++
+		}
+	}
+	return dst
+}

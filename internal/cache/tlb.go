@@ -1,0 +1,110 @@
+package cache
+
+// PageBits is log2 of the architectural page size (4 KiB).
+const PageBits = 12
+
+// TLB is a set-associative translation buffer with LRU replacement.
+// Fully-associative TLBs (the 16-entry D-TLB of Table III) use one set.
+type TLB struct {
+	Name    string
+	sets    [][]tlbEntry
+	ways    int
+	setMask uint64
+	clock   uint64
+
+	Accesses int64
+	Misses   int64
+}
+
+type tlbEntry struct {
+	vpn     uint64
+	valid   bool
+	lastUse uint64
+}
+
+// NewTLB builds a TLB with the given number of entries and associativity.
+// entries must be a multiple of ways and the set count a power of two.
+func NewTLB(name string, entries, ways int) *TLB {
+	numSets := entries / ways
+	if numSets == 0 || numSets&(numSets-1) != 0 {
+		panic("tlb: bad geometry")
+	}
+	sets := make([][]tlbEntry, numSets)
+	for i := range sets {
+		sets[i] = make([]tlbEntry, ways)
+	}
+	return &TLB{Name: name, sets: sets, ways: ways, setMask: uint64(numSets - 1)}
+}
+
+// Lookup probes the TLB for the page containing addr.
+func (t *TLB) Lookup(addr uint64) bool {
+	t.Accesses++
+	vpn := addr >> PageBits
+	set := t.sets[vpn&t.setMask]
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			t.clock++
+			set[i].lastUse = t.clock
+			return true
+		}
+	}
+	t.Misses++
+	return false
+}
+
+// Insert installs a translation, evicting LRU.
+func (t *TLB) Insert(addr uint64) {
+	vpn := addr >> PageBits
+	set := t.sets[vpn&t.setMask]
+	vi := 0
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			return
+		}
+		if !set[i].valid {
+			vi = i
+		} else if set[vi].valid && set[i].lastUse < set[vi].lastUse {
+			vi = i
+		}
+	}
+	t.clock++
+	set[vi] = tlbEntry{vpn: vpn, valid: true, lastUse: t.clock}
+}
+
+// WalkerPool models the page-table walkers (4 in Table III) as a resource
+// pool: a walk occupies one walker for its whole latency. Fig 17 sweeps
+// the pool size.
+type WalkerPool struct {
+	freeAt []int64
+	// WalkLatency is the cycles one walk takes once a walker is granted
+	// (page tables assumed warm in L2).
+	WalkLatency int64
+
+	Walks       int64
+	StallCycles int64
+}
+
+// NewWalkerPool creates a pool of n walkers with the given walk latency.
+func NewWalkerPool(n int, walkLatency int64) *WalkerPool {
+	return &WalkerPool{freeAt: make([]int64, n), WalkLatency: walkLatency}
+}
+
+// Walk starts a page walk no earlier than cycle at and returns the cycle
+// the translation is available.
+func (w *WalkerPool) Walk(at int64) int64 {
+	w.Walks++
+	best := 0
+	for i, f := range w.freeAt {
+		if f < w.freeAt[best] {
+			best = i
+		}
+	}
+	start := at
+	if w.freeAt[best] > start {
+		w.StallCycles += w.freeAt[best] - start
+		start = w.freeAt[best]
+	}
+	done := start + w.WalkLatency
+	w.freeAt[best] = done
+	return done
+}

@@ -1,0 +1,66 @@
+package cache
+
+// PFStats aggregates prefetch effectiveness for one origin.
+type PFStats struct {
+	Issued        int64 // prefetches that fetched a line from DRAM
+	Used          int64 // prefetched lines demand-touched before LLC eviction
+	EvictedUnused int64 // prefetched lines evicted from the LLC untouched
+}
+
+// Accuracy returns Used / (Used + EvictedUnused) — the paper's prefetch
+// accuracy definition (§VI-C): the fraction of prefetched cache lines
+// accessed by the core before being evicted from the LLC.
+func (s PFStats) Accuracy() float64 {
+	den := s.Used + s.EvictedUnused
+	if den == 0 {
+		return 1
+	}
+	return float64(s.Used) / float64(den)
+}
+
+// Tracker implements the prefetch tags of §IV-A7: it records, per line
+// brought in by a prefetch, whether the main program touched it before it
+// left the last-level cache. The SVR accuracy monitor polls it.
+type Tracker struct {
+	tags  map[uint64]Origin // line address -> origin, only while unused
+	Stats [NumOrigins]PFStats
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{tags: make(map[uint64]Origin)} }
+
+// Mark tags a line fetched from DRAM by a prefetch of the given origin.
+func (t *Tracker) Mark(addr uint64, origin Origin) {
+	lineAddr := addr &^ (LineSize - 1)
+	if _, dup := t.tags[lineAddr]; dup {
+		return
+	}
+	t.tags[lineAddr] = origin
+	t.Stats[origin].Issued++
+}
+
+// Touch records a demand access: if the line was a pending prefetch it
+// counts as used and the tag is cleared.
+func (t *Tracker) Touch(addr uint64) {
+	lineAddr := addr &^ (LineSize - 1)
+	if o, ok := t.tags[lineAddr]; ok {
+		t.Stats[o].Used++
+		delete(t.tags, lineAddr)
+	}
+}
+
+// Evict records an LLC eviction: an untouched prefetched line counts
+// against accuracy.
+func (t *Tracker) Evict(addr uint64) {
+	lineAddr := addr &^ (LineSize - 1)
+	if o, ok := t.tags[lineAddr]; ok {
+		t.Stats[o].EvictedUnused++
+		delete(t.tags, lineAddr)
+	}
+}
+
+// Pending returns the number of outstanding unused prefetched lines.
+func (t *Tracker) Pending() int { return len(t.tags) }
+
+// ResetStats zeroes the counters but keeps the outstanding tags.
+func (t *Tracker) ResetStats() { t.Stats = [NumOrigins]PFStats{} }

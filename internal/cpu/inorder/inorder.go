@@ -1,0 +1,365 @@
+// Package inorder models the 3-wide stall-on-use in-order core of
+// Table III (configured after the Arm Cortex-A510): in-order issue limited
+// by a 32-entry scoreboard, register ready-times for stall-on-use
+// semantics, two memory ports, a tournament branch predictor with a
+// 10-cycle misprediction penalty, and CPI-stack attribution.
+//
+// A Companion (the SVR engine, or the IMP prefetcher adapter) can observe
+// every issued instruction and consume issue slots of its own — this is
+// how piggyback runahead shares the real pipeline.
+package inorder
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config parameterizes the core.
+type Config struct {
+	Width             int   // issue width (3)
+	Scoreboard        int   // in-flight instruction limit (32)
+	MemPorts          int   // load/store issue ports per cycle (2)
+	StoreBuffer       int   // store-buffer entries draining to L1 (8)
+	MispredictPenalty int64 // cycles (10)
+
+	LatALU, LatMul, LatDiv, LatFPU int64
+	BPredTableBits                 uint
+}
+
+// DefaultConfig mirrors Table III's in-order column.
+func DefaultConfig() Config {
+	return Config{
+		Width: 3, Scoreboard: 32, MemPorts: 2, StoreBuffer: 8, MispredictPenalty: 10,
+		LatALU: 1, LatMul: 3, LatDiv: 12, LatFPU: 4,
+		BPredTableBits: 12,
+	}
+}
+
+// Companion observes issued instructions (SVR engine / IMP adapter).
+type Companion interface {
+	// OnIssue is called after rec issues at cycle issueAt with the given
+	// data-service level (loads only; LevelL1 otherwise). It returns the
+	// number of extra issue slots the companion consumed.
+	OnIssue(rec *emu.DynInstr, issueAt int64, level cache.Level) (extraSlots int64)
+}
+
+type sbEntry struct {
+	completeAt int64
+	reason     stats.StallReason
+}
+
+// Core is the in-order timing model.
+type Core struct {
+	Cfg       Config
+	H         *cache.Hierarchy
+	BP        *bpred.Predictor
+	Companion Companion
+	Tracer    trace.Tracer // optional pipeline event tracing
+
+	slot        int64 // issue-slot cursor (cycle*Width + slot index)
+	regReady    [isa.NumRegs]int64
+	regReason   [isa.NumRegs]stats.StallReason
+	flagsReady  int64
+	fetchReady  int64 // cycle fetch resumes after a misprediction
+	memPortFree []int64
+	storeBuf    []int64 // drain-complete time per store-buffer entry
+	sb          []sbEntry
+
+	startCycle  int64
+	maxComplete int64
+
+	// Stats (since last ResetStats).
+	Stack      stats.CPIStack
+	Instrs     uint64
+	Loads      uint64
+	Stores     uint64
+	Branches   uint64
+	LoadsByLvl [3]uint64
+	ExtraSlots int64 // slots consumed by the companion
+}
+
+// New builds a core over the given memory hierarchy.
+func New(cfg Config, h *cache.Hierarchy) *Core {
+	sbuf := cfg.StoreBuffer
+	if sbuf <= 0 {
+		sbuf = 1
+	}
+	return &Core{
+		Cfg:         cfg,
+		H:           h,
+		BP:          bpred.New(cfg.BPredTableBits),
+		memPortFree: make([]int64, cfg.MemPorts),
+		storeBuf:    make([]int64, sbuf),
+	}
+}
+
+func (c *Core) cycleOf(slot int64) int64 { return slot / int64(c.Cfg.Width) }
+
+func levelReason(l cache.Level) stats.StallReason {
+	switch l {
+	case cache.LevelMem:
+		return stats.StallMemDRAM
+	case cache.LevelL2:
+		return stats.StallMemL2
+	default:
+		return stats.StallOther
+	}
+}
+
+// CodeBase is the synthetic address of instruction index 0; instruction
+// fetch addresses are CodeBase + 4*pc (fixed 4-byte encoding).
+const CodeBase = 0x4000_0000
+
+// Issue runs one dynamic instruction through the pipeline model.
+func (c *Core) Issue(rec *emu.DynInstr) {
+	in := rec.Instr
+	cursor := c.slot
+	earliest := c.cycleOf(cursor)
+	cause := stats.StallBase
+
+	// Front-end: instruction fetch (free on the L1-I hits that dominate
+	// loop execution) and misprediction bubbles.
+	if bubble := c.H.FetchInstr(CodeBase+uint64(rec.PC)*4, earliest); bubble > 0 {
+		if fr := earliest + bubble; fr > c.fetchReady {
+			c.fetchReady = fr
+		}
+	}
+	if c.fetchReady > earliest {
+		earliest = c.fetchReady
+		cause = stats.StallBranch
+	}
+
+	// Stall-on-use: wait for source registers.
+	var srcBuf [2]isa.Reg
+	for _, r := range in.SrcRegs(srcBuf[:0]) {
+		if c.regReady[r] > earliest {
+			earliest = c.regReady[r]
+			cause = c.regReason[r]
+		}
+	}
+	// Branches read the flags.
+	if in.IsBranch() && c.flagsReady > earliest {
+		earliest = c.flagsReady
+		cause = stats.StallOther
+	}
+
+	// Scoreboard: wait for space.
+	for len(c.sb) >= c.Cfg.Scoreboard {
+		bi := 0
+		for i := range c.sb {
+			if c.sb[i].completeAt < c.sb[bi].completeAt {
+				bi = i
+			}
+		}
+		if e := c.sb[bi]; e.completeAt > earliest {
+			earliest = e.completeAt
+			cause = e.reason
+		}
+		c.sb[bi] = c.sb[len(c.sb)-1]
+		c.sb = c.sb[:len(c.sb)-1]
+	}
+	c.pruneScoreboard(earliest)
+
+	// Memory port for loads and stores.
+	memPort := -1
+	if in.IsMem() {
+		for i := range c.memPortFree {
+			if memPort < 0 || c.memPortFree[i] < c.memPortFree[memPort] {
+				memPort = i
+			}
+		}
+		if c.memPortFree[memPort] > earliest {
+			earliest = c.memPortFree[memPort]
+			cause = stats.StallOther
+		}
+	}
+
+	// Claim the issue slot.
+	slot := cursor
+	if es := earliest * int64(c.Cfg.Width); es > slot {
+		// Stalled: attribute the whole gap to the binding constraint.
+		c.Stack.Add(cause, float64(es-slot)/float64(c.Cfg.Width))
+		slot = es
+	}
+	issueAt := c.cycleOf(slot)
+	c.slot = slot + 1
+	if memPort >= 0 {
+		c.memPortFree[memPort] = issueAt + 1
+	}
+	c.Stack.Add(stats.StallBase, 1/float64(c.Cfg.Width))
+
+	// Execute.
+	complete := issueAt + 1
+	reason := stats.StallOther
+	level := cache.LevelL1
+	switch in.Kind() {
+	case isa.KindLoad:
+		res := c.H.Access(rec.PC, rec.Addr, false, issueAt)
+		complete = res.CompleteAt
+		level = res.Level
+		reason = levelReason(res.Level)
+		c.setReg(in.Rd, complete, reason)
+		c.Loads++
+		c.LoadsByLvl[res.Level]++
+	case isa.KindStore:
+		// Stores retire into the store buffer and drain to L1 in the
+		// background; the core stalls only when the buffer is full.
+		slot := 0
+		for i := range c.storeBuf {
+			if c.storeBuf[i] < c.storeBuf[slot] {
+				slot = i
+			}
+		}
+		drainStart := issueAt
+		if c.storeBuf[slot] > drainStart {
+			// Buffer full: the store (and the in-order stream behind
+			// it) waits for the oldest drain.
+			c.Stack.Add(stats.StallOther, float64(c.storeBuf[slot]-drainStart))
+			drainStart = c.storeBuf[slot]
+			c.slot = drainStart * int64(c.Cfg.Width)
+			issueAt = drainStart
+		}
+		res := c.H.Access(rec.PC, rec.Addr, true, drainStart)
+		c.storeBuf[slot] = res.CompleteAt
+		complete = issueAt + 1
+		c.Stores++
+	case isa.KindCmp:
+		complete = issueAt + c.Cfg.LatALU
+		c.flagsReady = complete
+	case isa.KindBranch:
+		c.Branches++
+		if c.BP.Predict(rec.PC, rec.Taken) {
+			c.fetchReady = issueAt + 1 + c.Cfg.MispredictPenalty
+		}
+	case isa.KindJump, isa.KindHalt, isa.KindNop:
+		// Single-slot, no destination.
+	case isa.KindMul:
+		complete = issueAt + c.Cfg.LatMul
+		c.setReg(in.Rd, complete, stats.StallOther)
+	case isa.KindDiv:
+		complete = issueAt + c.Cfg.LatDiv
+		c.setReg(in.Rd, complete, stats.StallOther)
+	case isa.KindFPU:
+		complete = issueAt + c.Cfg.LatFPU
+		c.setReg(in.Rd, complete, stats.StallOther)
+	default: // ALU
+		complete = issueAt + c.Cfg.LatALU
+		c.setReg(in.Rd, complete, stats.StallOther)
+	}
+
+	c.sb = append(c.sb, sbEntry{completeAt: complete, reason: reason})
+	if complete > c.maxComplete {
+		c.maxComplete = complete
+	}
+	c.Instrs++
+	c.Stack.Instrs++
+
+	if c.Tracer != nil {
+		c.Tracer.Emit(trace.Event{Kind: trace.KindIssue, Seq: rec.Seq, PC: rec.PC,
+			Cycle: issueAt, Text: in.String()})
+		if in.Kind() == isa.KindLoad {
+			c.Tracer.Emit(trace.Event{Kind: trace.KindComplete, Seq: rec.Seq, PC: rec.PC,
+				Cycle: complete, Text: level.String(), Arg: int64(rec.Addr)})
+		}
+	}
+
+	if c.Companion != nil {
+		if extra := c.Companion.OnIssue(rec, issueAt, level); extra > 0 {
+			c.slot += extra
+			c.ExtraSlots += extra
+		}
+	}
+}
+
+func (c *Core) setReg(r isa.Reg, ready int64, reason stats.StallReason) {
+	if r == isa.R0 {
+		return
+	}
+	c.regReady[r] = ready
+	c.regReason[r] = reason
+}
+
+func (c *Core) pruneScoreboard(at int64) {
+	keep := c.sb[:0]
+	for _, e := range c.sb {
+		if e.completeAt > at {
+			keep = append(keep, e)
+		}
+	}
+	c.sb = keep
+}
+
+// Now returns the core's current issue-cursor cycle; the multi-core
+// driver uses it to keep cores loosely synchronized in simulated time.
+func (c *Core) Now() int64 { return c.cycleOf(c.slot) }
+
+// Cycles returns the cycles elapsed since the last ResetStats, including
+// the drain of the last in-flight instructions.
+func (c *Core) Cycles() int64 {
+	end := c.cycleOf(c.slot)
+	if c.maxComplete > end {
+		end = c.maxComplete
+	}
+	return end - c.startCycle
+}
+
+// CPI returns cycles per committed instruction.
+func (c *Core) CPI() float64 {
+	if c.Instrs == 0 {
+		return 0
+	}
+	return float64(c.Cycles()) / float64(c.Instrs)
+}
+
+// IPC returns instructions per cycle.
+func (c *Core) IPC() float64 {
+	if cy := c.Cycles(); cy > 0 {
+		return float64(c.Instrs) / float64(cy)
+	}
+	return 0
+}
+
+// NormalizedStack returns the CPI stack rescaled so its components sum to
+// the measured CPI (the per-constraint attribution is approximate).
+func (c *Core) NormalizedStack() stats.CPIStack {
+	s := c.Stack
+	sum := 0.0
+	for _, v := range s.Cycles {
+		sum += v
+	}
+	if sum > 0 {
+		scale := float64(c.Cycles()) / sum
+		for i := range s.Cycles {
+			s.Cycles[i] *= scale
+		}
+	}
+	return s
+}
+
+// ResetStats zeroes statistics, setting the measurement window start to
+// now. Microarchitectural state (predictors, ready times) is preserved.
+func (c *Core) ResetStats() {
+	c.Stack = stats.CPIStack{}
+	c.Instrs, c.Loads, c.Stores, c.Branches = 0, 0, 0, 0
+	c.LoadsByLvl = [3]uint64{}
+	c.ExtraSlots = 0
+	c.startCycle = c.cycleOf(c.slot)
+	c.maxComplete = c.startCycle
+	c.BP.ResetStats()
+}
+
+// Run drives the emulator through the core for up to maxInstr
+// instructions, returning the number executed.
+func (c *Core) Run(cpu *emu.CPU, maxInstr uint64) uint64 {
+	var rec emu.DynInstr
+	var n uint64
+	for n < maxInstr && cpu.Step(&rec) {
+		c.Issue(&rec)
+		n++
+	}
+	return n
+}

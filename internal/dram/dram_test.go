@@ -1,0 +1,67 @@
+package dram
+
+import "testing"
+
+func TestIdleLatency(t *testing.T) {
+	c := New(DefaultConfig())
+	// 45 ns at 2 GHz = 90 cycles.
+	if got := c.Access(1000) - 1000; got != 90 {
+		t.Errorf("idle latency = %d cycles, want 90", got)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	c := New(DefaultConfig())
+	// Issue many requests at the same instant; they serialize on the
+	// channel at ~64B / 50GiB/s ≈ 2.38 cycles apiece.
+	first := c.Access(0)
+	var last int64
+	const n = 100
+	for i := 1; i < n; i++ {
+		last = c.Access(0)
+	}
+	spread := last - first
+	// Expected spread ≈ (n-1) * 2.38 ≈ 236 cycles.
+	if spread < 180 || spread > 280 {
+		t.Errorf("100-request spread = %d cycles, want ~236", spread)
+	}
+	if c.Lines != n {
+		t.Errorf("lines = %d", c.Lines)
+	}
+	if c.QueuedCycles() == 0 {
+		t.Error("no queueing recorded under burst")
+	}
+}
+
+func TestHalfBandwidthDoublesSpread(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BandwidthGBps = 25
+	c := New(cfg)
+	first := c.Access(0)
+	var last int64
+	for i := 1; i < 100; i++ {
+		last = c.Access(0)
+	}
+	if spread := last - first; spread < 420 || spread > 530 {
+		t.Errorf("25GiB/s spread = %d cycles, want ~471", spread)
+	}
+}
+
+func TestNoQueueingWhenSpaced(t *testing.T) {
+	c := New(DefaultConfig())
+	for i := int64(0); i < 50; i++ {
+		c.Access(i * 100)
+	}
+	if c.QueuedCycles() != 0 {
+		t.Errorf("spaced accesses queued %d cycles", c.QueuedCycles())
+	}
+}
+
+func TestBytesTransferred(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Access(0)
+	c.Access(0)
+	if c.BytesTransferred() != 128 {
+		t.Errorf("bytes = %d", c.BytesTransferred())
+	}
+}

@@ -1,0 +1,73 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAccessNeverBeforeArrival: completion is always at least
+// latency after the (possibly out-of-order) arrival time.
+func TestAccessNeverBeforeArrival(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(DefaultConfig())
+		for i := 0; i < 500; i++ {
+			at := int64(rng.Intn(100000))
+			if done := c.Access(at); done < at+c.LatencyCycles {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBandwidthCapHolds: within any burst issued at one instant, the
+// ledger never books more than the channel's cycle budget per window —
+// so k lines issued together span at least k*transfer cycles.
+func TestBandwidthCapHolds(t *testing.T) {
+	if err := quick.Check(func(rawK uint8) bool {
+		k := int(rawK%200) + 50
+		c := New(DefaultConfig())
+		first := c.Access(0)
+		last := first
+		for i := 1; i < k; i++ {
+			last = c.Access(0)
+		}
+		// 64B/50GiB/s @2GHz = ~2.38 cycles/line; allow one window slack.
+		minSpread := int64(float64(k-1)*2.3) - 64
+		return last-first >= minSpread
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOutOfOrderArrivalsDoNotBlockEarlierTraffic: a far-future request
+// must not delay a present-time request (the bug class the ledger fixes).
+func TestOutOfOrderArrivalsDoNotBlockEarlierTraffic(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Access(100000) // writeback booked far in the future
+	done := c.Access(10)
+	if done != 10+c.LatencyCycles {
+		t.Errorf("present-time access delayed to %d by future booking", done)
+	}
+}
+
+// TestLedgerSlidesForward: bookings far beyond the ring still succeed and
+// never travel back in time.
+func TestLedgerSlidesForward(t *testing.T) {
+	c := New(DefaultConfig())
+	for i := 0; i < 10; i++ {
+		at := int64(i) * 3_000_000
+		if done := c.Access(at); done < at {
+			t.Fatalf("completion %d before arrival %d", done, at)
+		}
+	}
+	// After sliding, old-time requests clamp to the ledger base rather
+	// than panicking or going negative.
+	if done := c.Access(5); done < 0 {
+		t.Fatalf("clamped access went negative: %d", done)
+	}
+}

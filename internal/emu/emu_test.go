@@ -1,0 +1,274 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// buildSum builds a kernel that sums the n 8-byte elements of an array via
+// a counted loop, leaving the result in r3.
+func buildSum(base uint64, n int64) *isa.Program {
+	b := isa.NewBuilder("sum")
+	rBase, rI, rSum, rN, rAddr, rV := isa.Reg(1), isa.Reg(2), isa.Reg(3), isa.Reg(4), isa.Reg(5), isa.Reg(6)
+	b.LoadImm(rBase, int64(base))
+	b.LoadImm(rI, 0)
+	b.LoadImm(rSum, 0)
+	b.LoadImm(rN, n)
+	b.Label("loop")
+	b.ShlI(rAddr, rI, 3)
+	b.Add(rAddr, rAddr, rBase)
+	b.Load(rV, rAddr, 0, 8)
+	b.Add(rSum, rSum, rV)
+	b.AddI(rI, rI, 1)
+	b.Cmp(rI, rN)
+	b.BLT("loop")
+	b.Halt()
+	return b.Build()
+}
+
+func TestSumLoop(t *testing.T) {
+	m := mem.New()
+	a := m.NewArray(10, 8)
+	want := int64(0)
+	for i := uint64(0); i < 10; i++ {
+		a.SetI(i, int64(i*i))
+		want += int64(i * i)
+	}
+	c := New(buildSum(a.Base, 10), m)
+	c.Run(1 << 20)
+	if !c.Halted() {
+		t.Fatal("program did not halt")
+	}
+	if got := c.Reg(3); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestDynInstrRecords(t *testing.T) {
+	m := mem.New()
+	a := m.NewArray(4, 8)
+	a.SetI(2, 99)
+	c := New(buildSum(a.Base, 4), m)
+
+	var rec DynInstr
+	loads, branches, takens := 0, 0, 0
+	var seq uint64
+	for c.Step(&rec) {
+		if rec.Seq != seq {
+			t.Fatalf("seq %d, want %d", rec.Seq, seq)
+		}
+		seq++
+		switch rec.Instr.Kind() {
+		case isa.KindLoad:
+			wantAddr := a.Addr(uint64(loads))
+			if rec.Addr != wantAddr {
+				t.Errorf("load %d addr = %#x, want %#x", loads, rec.Addr, wantAddr)
+			}
+			if loads == 2 && rec.LoadVal != 99 {
+				t.Errorf("load 2 value = %d, want 99", rec.LoadVal)
+			}
+			loads++
+		case isa.KindBranch:
+			branches++
+			if rec.Taken {
+				takens++
+			}
+		}
+	}
+	if loads != 4 {
+		t.Errorf("loads = %d, want 4", loads)
+	}
+	if branches != 4 || takens != 3 {
+		t.Errorf("branches = %d (%d taken), want 4 (3 taken)", branches, takens)
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	b := isa.NewBuilder("r0")
+	b.LoadImm(isa.R0, 123)
+	b.AddI(1, isa.R0, 5)
+	b.Halt()
+	c := New(b.Build(), mem.New())
+	c.Run(10)
+	if c.Reg(isa.R0) != 0 {
+		t.Error("r0 was written")
+	}
+	if c.Reg(1) != 5 {
+		t.Errorf("r1 = %d, want 5", c.Reg(1))
+	}
+}
+
+func TestALUOps(t *testing.T) {
+	cases := []struct {
+		name  string
+		emitF func(b *isa.Builder)
+		want  int64
+	}{
+		{"add", func(b *isa.Builder) { b.Add(3, 1, 2) }, 17},
+		{"sub", func(b *isa.Builder) { b.Sub(3, 1, 2) }, 7},
+		{"mul", func(b *isa.Builder) { b.Mul(3, 1, 2) }, 60},
+		{"div", func(b *isa.Builder) { b.Div(3, 1, 2) }, 2},
+		{"and", func(b *isa.Builder) { b.And(3, 1, 2) }, 12 & 5},
+		{"or", func(b *isa.Builder) { b.Or(3, 1, 2) }, 12 | 5},
+		{"xor", func(b *isa.Builder) { b.Xor(3, 1, 2) }, 12 ^ 5},
+		{"shl", func(b *isa.Builder) { b.Shl(3, 1, 2) }, 12 << 5},
+		{"shr", func(b *isa.Builder) { b.Shr(3, 1, 2) }, 12 >> 5},
+		{"min", func(b *isa.Builder) { b.Min(3, 1, 2) }, 5},
+		{"max", func(b *isa.Builder) { b.Max(3, 1, 2) }, 12},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := isa.NewBuilder(c.name)
+			b.LoadImm(1, 12)
+			b.LoadImm(2, 5)
+			c.emitF(b)
+			b.Halt()
+			cpu := New(b.Build(), mem.New())
+			cpu.Run(10)
+			if got := cpu.Reg(3); got != c.want {
+				t.Errorf("%s = %d, want %d", c.name, got, c.want)
+			}
+		})
+	}
+}
+
+func TestDivByZeroYieldsZero(t *testing.T) {
+	b := isa.NewBuilder("div0")
+	b.LoadImm(1, 10)
+	b.Div(3, 1, isa.R0)
+	b.Halt()
+	c := New(b.Build(), mem.New())
+	c.Run(10)
+	if c.Reg(3) != 0 {
+		t.Errorf("div by zero = %d, want 0", c.Reg(3))
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	b := isa.NewBuilder("fp")
+	b.LoadImmF(1, 6.0)
+	b.LoadImmF(2, 1.5)
+	b.FAdd(3, 1, 2)
+	b.FSub(4, 1, 2)
+	b.FMul(5, 1, 2)
+	b.FDiv(6, 1, 2)
+	b.LoadImm(7, 3)
+	b.IToF(8, 7)
+	b.FToI(9, 8)
+	b.Halt()
+	c := New(b.Build(), mem.New())
+	c.Run(20)
+	checks := []struct {
+		r    isa.Reg
+		want float64
+	}{{3, 7.5}, {4, 4.5}, {5, 9.0}, {6, 4.0}, {8, 3.0}}
+	for _, ch := range checks {
+		if got := isa.B2F(c.Reg(ch.r)); got != ch.want {
+			t.Errorf("r%d = %v, want %v", ch.r, got, ch.want)
+		}
+	}
+	if c.Reg(9) != 3 {
+		t.Errorf("ftoi = %d, want 3", c.Reg(9))
+	}
+}
+
+func TestBranchConditions(t *testing.T) {
+	// For each (a, b, op), check whether the branch is taken.
+	cases := []struct {
+		op    string
+		a, b  int64
+		taken bool
+	}{
+		{"beq", 5, 5, true}, {"beq", 5, 6, false},
+		{"bne", 5, 6, true}, {"bne", 5, 5, false},
+		{"blt", 4, 5, true}, {"blt", 5, 5, false}, {"blt", -1, 0, true},
+		{"bge", 5, 5, true}, {"bge", 4, 5, false},
+		{"ble", 5, 5, true}, {"ble", 6, 5, false},
+		{"bgt", 6, 5, true}, {"bgt", 5, 5, false},
+	}
+	for _, c := range cases {
+		b := isa.NewBuilder("br")
+		b.LoadImm(1, c.a)
+		b.LoadImm(2, c.b)
+		b.Cmp(1, 2)
+		switch c.op {
+		case "beq":
+			b.BEQ("hit")
+		case "bne":
+			b.BNE("hit")
+		case "blt":
+			b.BLT("hit")
+		case "bge":
+			b.BGE("hit")
+		case "ble":
+			b.BLE("hit")
+		case "bgt":
+			b.BGT("hit")
+		}
+		b.LoadImm(3, 0)
+		b.Halt()
+		b.Label("hit")
+		b.LoadImm(3, 1)
+		b.Halt()
+		cpu := New(b.Build(), mem.New())
+		cpu.Run(10)
+		if got := cpu.Reg(3) == 1; got != c.taken {
+			t.Errorf("%s(%d,%d) taken = %v, want %v", c.op, c.a, c.b, got, c.taken)
+		}
+	}
+}
+
+func TestNarrowLoadZeroExtends(t *testing.T) {
+	m := mem.New()
+	addr := m.Alloc(8, 8)
+	m.Write(addr, 0xffffffff, 4)
+	b := isa.NewBuilder("narrow")
+	b.LoadImm(1, int64(addr))
+	b.Load(2, 1, 0, 4)
+	b.Halt()
+	c := New(b.Build(), m)
+	c.Run(10)
+	if got := c.Reg(2); got != 0xffffffff {
+		t.Errorf("32-bit load = %#x, want 0xffffffff (zero-extended)", got)
+	}
+}
+
+func TestStore(t *testing.T) {
+	m := mem.New()
+	addr := m.Alloc(8, 8)
+	b := isa.NewBuilder("store")
+	b.LoadImm(1, int64(addr))
+	b.LoadImm(2, 7777)
+	b.Store(2, 1, 0, 8)
+	b.Halt()
+	New(b.Build(), m).Run(10)
+	if got := m.ReadI64(addr); got != 7777 {
+		t.Errorf("stored value = %d", got)
+	}
+}
+
+func TestRunOffEndHalts(t *testing.T) {
+	b := isa.NewBuilder("fall")
+	b.Nop()
+	c := New(b.Build(), mem.New())
+	n := c.Run(100)
+	if n != 1 || !c.Halted() {
+		t.Errorf("ran %d instructions, halted=%v", n, c.Halted())
+	}
+}
+
+func TestInstrCountMatchesRun(t *testing.T) {
+	m := mem.New()
+	a := m.NewArray(8, 8)
+	c := New(buildSum(a.Base, 8), m)
+	n := c.Run(1 << 20)
+	if c.InstrCount() != n {
+		t.Errorf("InstrCount=%d, Run returned %d", c.InstrCount(), n)
+	}
+	// 4 setup + 8 iterations × 7 + 1 halt
+	if want := uint64(4 + 8*7 + 1); n != want {
+		t.Errorf("executed %d instructions, want %d", n, want)
+	}
+}

@@ -1,0 +1,132 @@
+// Package energy is the McPAT-style whole-system energy model used for
+// Fig 1 (right) and Fig 12. Energy = per-event dynamic energies plus
+// static power integrated over execution time. The constants are
+// calibrated to the paper's reported operating points at 22 nm: the
+// in-order core averages 0.12 W and the out-of-order core 1.01 W on the
+// memory-bound workload set, and whole-system energy lands in the
+// 1–10 nJ/instruction range.
+package energy
+
+// CoreType selects the core's energy coefficients.
+type CoreType int
+
+// Core types.
+const (
+	InOrder CoreType = iota
+	OutOfOrder
+)
+
+// Params holds the model coefficients.
+type Params struct {
+	// Dynamic energy per event, picojoules.
+	InOInstrPJ  float64 // per instruction on the in-order core
+	OoOInstrPJ  float64 // per instruction on the OoO core (rename/wakeup/ROB)
+	SVRScalarPJ float64 // per transient SVR scalar (no fetch, SRF access)
+	L1AccessPJ  float64
+	L2AccessPJ  float64
+	DRAMLinePJ  float64 // per 64 B line transfer (activation+IO)
+
+	// Static power, watts.
+	InOCoreStaticW  float64
+	OoOCoreStaticW  float64
+	UncoreStaticW   float64 // L2 + NoC + misc SoC
+	DRAMBackgroundW float64
+
+	FreqGHz float64
+}
+
+// DefaultParams returns the calibrated 22 nm coefficients.
+func DefaultParams() Params {
+	return Params{
+		InOInstrPJ:      12,
+		OoOInstrPJ:      85,
+		SVRScalarPJ:     35, // execute + SRF + return counter; ~22% of core power in PRM (§VI-B)
+		L1AccessPJ:      10,
+		L2AccessPJ:      35,
+		DRAMLinePJ:      3000,
+		InOCoreStaticW:  0.085,
+		OoOCoreStaticW:  0.78,
+		UncoreStaticW:   0.22,
+		DRAMBackgroundW: 0.60,
+		FreqGHz:         2.0,
+	}
+}
+
+// Activity is the event record of one simulation window.
+type Activity struct {
+	Core       CoreType
+	Cycles     int64
+	Instrs     uint64
+	SVRScalars int64
+	L1Accesses int64
+	L2Accesses int64
+	DRAMLines  int64
+}
+
+// Report is the energy breakdown of a window.
+type Report struct {
+	DynamicJ float64
+	StaticJ  float64
+	TotalJ   float64
+
+	// Core-only dynamic split: architectural instructions vs the SVR
+	// engine's transient scalars (the paper reports the latter at ~22 %
+	// of core power during runahead-heavy phases).
+	CoreInstrJ float64
+	TransientJ float64
+
+	Seconds    float64
+	AvgPowerW  float64
+	CorePowerW float64 // core-only average power (paper quotes 0.12/1.01 W)
+	NJPerInstr float64
+
+	coreStaticJ float64
+}
+
+// TransientShare returns the fraction of core energy (dynamic + core
+// static) spent executing transient SVR scalars.
+func (r Report) TransientShare() float64 {
+	den := r.CoreInstrJ + r.TransientJ + r.coreStaticJ
+	if den == 0 {
+		return 0
+	}
+	return r.TransientJ / den
+}
+
+// Estimate computes the energy report for an activity window.
+func Estimate(p Params, a Activity) Report {
+	seconds := float64(a.Cycles) / (p.FreqGHz * 1e9)
+
+	instrPJ := p.InOInstrPJ
+	coreStatic := p.InOCoreStaticW
+	if a.Core == OutOfOrder {
+		instrPJ = p.OoOInstrPJ
+		coreStatic = p.OoOCoreStaticW
+	}
+
+	instrJ := float64(a.Instrs) * instrPJ * 1e-12
+	transientJ := float64(a.SVRScalars) * p.SVRScalarPJ * 1e-12
+	coreDynJ := instrJ + transientJ
+	memDynJ := (float64(a.L1Accesses)*p.L1AccessPJ +
+		float64(a.L2Accesses)*p.L2AccessPJ +
+		float64(a.DRAMLines)*p.DRAMLinePJ) * 1e-12
+	staticJ := (coreStatic + p.UncoreStaticW + p.DRAMBackgroundW) * seconds
+
+	r := Report{
+		DynamicJ:    coreDynJ + memDynJ,
+		StaticJ:     staticJ,
+		TotalJ:      coreDynJ + memDynJ + staticJ,
+		CoreInstrJ:  instrJ,
+		TransientJ:  transientJ,
+		coreStaticJ: coreStatic * seconds,
+		Seconds:     seconds,
+	}
+	if seconds > 0 {
+		r.AvgPowerW = r.TotalJ / seconds
+		r.CorePowerW = coreStatic + coreDynJ/seconds
+	}
+	if a.Instrs > 0 {
+		r.NJPerInstr = r.TotalJ / float64(a.Instrs) * 1e9
+	}
+	return r
+}

@@ -1,0 +1,108 @@
+package energy
+
+import "testing"
+
+// memBoundActivity models a graph workload window: CPI 10 in-order,
+// one DRAM line per ~7 instructions.
+func memBoundActivity(core CoreType, cpi float64) Activity {
+	const instrs = 1_000_000
+	return Activity{
+		Core:       core,
+		Cycles:     int64(cpi * instrs),
+		Instrs:     instrs,
+		L1Accesses: instrs / 3,
+		L2Accesses: instrs / 6,
+		DRAMLines:  instrs / 7,
+	}
+}
+
+func TestInOrderOperatingPoint(t *testing.T) {
+	// Paper: in-order core averages 0.12 W on these workloads.
+	r := Estimate(DefaultParams(), memBoundActivity(InOrder, 10))
+	if r.CorePowerW < 0.07 || r.CorePowerW > 0.17 {
+		t.Errorf("in-order core power = %.3f W, want ~0.12", r.CorePowerW)
+	}
+	if r.NJPerInstr < 2 || r.NJPerInstr > 12 {
+		t.Errorf("in-order energy = %.2f nJ/instr, want 2-12 (Fig 12 range)", r.NJPerInstr)
+	}
+}
+
+func TestOoOOperatingPoint(t *testing.T) {
+	// Paper: OoO core averages 1.01 W; CPI ~4 on the same workloads.
+	r := Estimate(DefaultParams(), memBoundActivity(OutOfOrder, 4))
+	if r.CorePowerW < 0.8 || r.CorePowerW > 1.3 {
+		t.Errorf("OoO core power = %.3f W, want ~1.01", r.CorePowerW)
+	}
+}
+
+func TestOrderingMatchesPaper(t *testing.T) {
+	// Fig 1/12 shapes: SVR (fast in-order + transient scalars) must be
+	// the most efficient; OoO usually beats plain in-order system-wide.
+	p := DefaultParams()
+	ino := Estimate(p, memBoundActivity(InOrder, 10))
+	ooo := Estimate(p, memBoundActivity(OutOfOrder, 4))
+	svrAct := memBoundActivity(InOrder, 3)
+	svrAct.SVRScalars = int64(svrAct.Instrs) // PRM doubles executed ops
+	svrAct.L1Accesses *= 2
+	svr := Estimate(p, svrAct)
+
+	if !(svr.NJPerInstr < ooo.NJPerInstr && svr.NJPerInstr < ino.NJPerInstr) {
+		t.Errorf("SVR %.2f nJ/i must beat OoO %.2f and InO %.2f",
+			svr.NJPerInstr, ooo.NJPerInstr, ino.NJPerInstr)
+	}
+	if ooo.NJPerInstr >= ino.NJPerInstr {
+		t.Errorf("OoO %.2f nJ/i should beat slow InO %.2f on memory-bound work",
+			ooo.NJPerInstr, ino.NJPerInstr)
+	}
+	// SVR roughly halves energy versus both (paper: -53%/-49%).
+	if ratio := svr.NJPerInstr / ino.NJPerInstr; ratio > 0.75 {
+		t.Errorf("SVR/InO energy ratio = %.2f, want well under 0.75", ratio)
+	}
+}
+
+func TestStaticScalesWithTime(t *testing.T) {
+	p := DefaultParams()
+	a := memBoundActivity(InOrder, 10)
+	b := a
+	b.Cycles *= 2
+	ra, rb := Estimate(p, a), Estimate(p, b)
+	if rb.StaticJ <= ra.StaticJ*1.9 {
+		t.Errorf("static energy did not scale with time: %v vs %v", ra.StaticJ, rb.StaticJ)
+	}
+	if rb.DynamicJ != ra.DynamicJ {
+		t.Error("dynamic energy must not depend on time")
+	}
+}
+
+func TestZeroActivity(t *testing.T) {
+	r := Estimate(DefaultParams(), Activity{})
+	if r.TotalJ != 0 || r.NJPerInstr != 0 || r.AvgPowerW != 0 {
+		t.Errorf("zero activity produced nonzero report: %+v", r)
+	}
+}
+
+func TestSVRScalarEnergyCharged(t *testing.T) {
+	p := DefaultParams()
+	a := memBoundActivity(InOrder, 3)
+	b := a
+	b.SVRScalars = 2_000_000
+	if Estimate(p, b).DynamicJ <= Estimate(p, a).DynamicJ {
+		t.Error("transient scalars must cost dynamic energy")
+	}
+}
+
+func TestTransientShareNearPaperClaim(t *testing.T) {
+	// Paper §VI-B: transient instructions account for ~22% of core power
+	// while SVR runs. Model a runahead-heavy window: SVR roughly doubles
+	// the executed operations.
+	a := memBoundActivity(InOrder, 3)
+	a.SVRScalars = int64(a.Instrs)
+	r := Estimate(DefaultParams(), a)
+	if share := r.TransientShare(); share < 0.12 || share > 0.32 {
+		t.Errorf("transient share = %.2f, want near the paper's ~0.22", share)
+	}
+	// No scalars, no share.
+	if s := Estimate(DefaultParams(), memBoundActivity(InOrder, 3)).TransientShare(); s != 0 {
+		t.Errorf("share without scalars = %v", s)
+	}
+}

@@ -1,0 +1,126 @@
+package graphs
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func checkCSRWellFormed(t *testing.T, g *CSR) {
+	t.Helper()
+	if len(g.Offsets) != g.NumNodes+1 {
+		t.Fatalf("offsets length %d for %d nodes", len(g.Offsets), g.NumNodes)
+	}
+	if g.Offsets[0] != 0 || int(g.Offsets[g.NumNodes]) != len(g.Neighbors) {
+		t.Fatal("offset endpoints wrong")
+	}
+	for u := 0; u < g.NumNodes; u++ {
+		if g.Offsets[u] > g.Offsets[u+1] {
+			t.Fatalf("offsets not monotonic at %d", u)
+		}
+		prev := int64(-1)
+		for _, v := range g.Neigh(u) {
+			if int(v) >= g.NumNodes {
+				t.Fatalf("neighbor %d out of range", v)
+			}
+			if int64(v) < prev {
+				t.Fatalf("adjacency of %d not sorted", u)
+			}
+			prev = int64(v)
+		}
+	}
+}
+
+func TestUniformWellFormed(t *testing.T) {
+	g := Uniform("ur", 1000, 8, 1)
+	checkCSRWellFormed(t, g)
+	if g.NumEdges() != 8000 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestKroneckerSkewed(t *testing.T) {
+	g := Kronecker("kr", 12, 16, 2)
+	checkCSRWellFormed(t, g)
+	ur := Uniform("ur", g.NumNodes, 16, 2)
+	if g.MaxDegree() < 4*ur.MaxDegree() {
+		t.Errorf("Kronecker max degree %d not much larger than uniform %d",
+			g.MaxDegree(), ur.MaxDegree())
+	}
+}
+
+// topShare returns the fraction of edges owned by the top 1% of vertices.
+func topShare(g *CSR) float64 {
+	degs := make([]int, g.NumNodes)
+	for u := range degs {
+		degs[u] = g.Degree(u)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top := 0
+	k := g.NumNodes / 100
+	if k < 1 {
+		k = 1
+	}
+	for _, d := range degs[:k] {
+		top += d
+	}
+	return float64(top) / float64(g.NumEdges())
+}
+
+func TestPowerLawSkewOrdering(t *testing.T) {
+	// Smaller alpha => heavier tail => the hub vertices own a larger
+	// share of all edges (scale-invariant statistic).
+	tw := PowerLaw("tw", 8192, 16, 2.0, 3)
+	lj := PowerLaw("lj", 8192, 16, 2.4, 3)
+	checkCSRWellFormed(t, tw)
+	checkCSRWellFormed(t, lj)
+	if topShare(tw) <= topShare(lj) {
+		t.Errorf("TW-like top-1%% share %.3f should exceed LJN-like %.3f",
+			topShare(tw), topShare(lj))
+	}
+}
+
+func TestBuildAllInputs(t *testing.T) {
+	for _, in := range Inputs {
+		g := Build(in, 2048, 7)
+		checkCSRWellFormed(t, g)
+		if g.NumEdges() < 2048 {
+			t.Errorf("%s: only %d edges", in, g.NumEdges())
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(KR, 1024, 5)
+	b := Build(KR, 1024, 5)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range a.Neighbors {
+		if a.Neighbors[i] != b.Neighbors[i] {
+			t.Fatal("same seed produced different neighbor arrays")
+		}
+	}
+}
+
+func TestDegreeSumInvariant(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		g := Uniform("u", 256, 4, seed)
+		sum := 0
+		for u := 0; u < g.NumNodes; u++ {
+			sum += g.Degree(u)
+		}
+		return sum == g.NumEdges()
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestORKDensest(t *testing.T) {
+	ork := Build(ORK, 2048, 9)
+	ljn := Build(LJN, 2048, 9)
+	if float64(ork.NumEdges())/2048 <= float64(ljn.NumEdges())/2048 {
+		t.Errorf("ORK avg degree %.1f should exceed LJN %.1f",
+			float64(ork.NumEdges())/2048, float64(ljn.NumEdges())/2048)
+	}
+}

@@ -1,0 +1,312 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse assembles a program from textual assembly in the same syntax
+// Program.Disasm emits. Supported forms:
+//
+//	label:                     ; binds a label
+//	add r1, r2, r3             ; register-register ALU
+//	addi r1, r2, 42            ; register-immediate ALU
+//	li r1, 42                  ; load immediate
+//	itof r1, r2                ; conversions
+//	ld32 r5, [r2+8]            ; loads (8/16/32/64-bit)
+//	st64 r3, [r4-8]            ; stores
+//	cmp r1, r2 / cmpi r1, 42   ; compares
+//	blt loop / blt @17         ; branches to a label or absolute index
+//	jmp loop / nop / halt
+//
+// Comments start with '#', '//' or ';' and run to end of line.
+func Parse(name, src string) (*Program, error) {
+	b := NewBuilder(name)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Leading "NNN:" disassembly indices are ignored; "name:" binds.
+		for {
+			colon := strings.IndexByte(line, ':')
+			if colon < 0 {
+				break
+			}
+			head := strings.TrimSpace(line[:colon])
+			if head == "" {
+				return nil, fmt.Errorf("line %d: empty label", lineNo+1)
+			}
+			if _, numeric := atoiOK(head); !numeric {
+				if _, dup := b.labels[head]; dup {
+					return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, head)
+				}
+				b.Label(head)
+			}
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := parseInstr(b, line); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+		}
+	}
+	p, err := b.BuildErr()
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func atoiOK(s string) (int, bool) {
+	n, err := strconv.Atoi(s)
+	return n, err == nil
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{"#", "//", ";"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+var regRegOps = map[string]func(b *Builder, rd, ra, rb Reg){
+	"add": (*Builder).Add, "sub": (*Builder).Sub, "mul": (*Builder).Mul,
+	"div": (*Builder).Div, "and": (*Builder).And, "or": (*Builder).Or,
+	"xor": (*Builder).Xor, "shl": (*Builder).Shl, "shr": (*Builder).Shr,
+	"min": (*Builder).Min, "max": (*Builder).Max,
+	"fadd": (*Builder).FAdd, "fsub": (*Builder).FSub,
+	"fmul": (*Builder).FMul, "fdiv": (*Builder).FDiv,
+}
+
+var regImmOps = map[string]func(b *Builder, rd, ra Reg, imm int64){
+	"addi": (*Builder).AddI, "muli": (*Builder).MulI, "andi": (*Builder).AndI,
+	"ori": (*Builder).OrI, "xori": (*Builder).XorI,
+	"shli": (*Builder).ShlI, "shri": (*Builder).ShrI,
+}
+
+var branchOps = map[string]func(b *Builder, label string){
+	"beq": (*Builder).BEQ, "bne": (*Builder).BNE, "blt": (*Builder).BLT,
+	"bge": (*Builder).BGE, "ble": (*Builder).BLE, "bgt": (*Builder).BGT,
+	"jmp": (*Builder).Jmp,
+}
+
+func parseInstr(b *Builder, line string) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToLower(mnemonic)
+	args := splitArgs(rest)
+
+	if fn, ok := regRegOps[mnemonic]; ok {
+		rs, err := regs(args, 3)
+		if err != nil {
+			return fmt.Errorf("%s: %v", mnemonic, err)
+		}
+		fn(b, rs[0], rs[1], rs[2])
+		return nil
+	}
+	if fn, ok := regImmOps[mnemonic]; ok {
+		if len(args) != 3 {
+			return fmt.Errorf("%s: want rd, ra, imm", mnemonic)
+		}
+		rd, err1 := reg(args[0])
+		ra, err2 := reg(args[1])
+		imm, err3 := imm(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return fmt.Errorf("%s: %v", mnemonic, err)
+		}
+		fn(b, rd, ra, imm)
+		return nil
+	}
+	if fn, ok := branchOps[mnemonic]; ok {
+		if len(args) != 1 {
+			return fmt.Errorf("%s: want one target", mnemonic)
+		}
+		target := args[0]
+		if strings.HasPrefix(target, "@") {
+			// Absolute instruction index from disassembly.
+			pc, err := strconv.Atoi(target[1:])
+			if err != nil {
+				return fmt.Errorf("%s: bad target %q", mnemonic, target)
+			}
+			synth := fmt.Sprintf("@%d", pc)
+			if _, bound := b.labels[synth]; !bound {
+				b.bindAt(synth, pc)
+			}
+			fn(b, synth)
+			return nil
+		}
+		fn(b, target)
+		return nil
+	}
+
+	switch {
+	case mnemonic == "nop":
+		b.Nop()
+	case mnemonic == "halt":
+		b.Halt()
+	case mnemonic == "li":
+		if len(args) != 2 {
+			return fmt.Errorf("li: want rd, imm")
+		}
+		rd, err1 := reg(args[0])
+		v, err2 := imm(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return fmt.Errorf("li: %v", err)
+		}
+		b.LoadImm(rd, v)
+	case mnemonic == "itof" || mnemonic == "ftoi":
+		rs, err := regs(args, 2)
+		if err != nil {
+			return fmt.Errorf("%s: %v", mnemonic, err)
+		}
+		if mnemonic == "itof" {
+			b.IToF(rs[0], rs[1])
+		} else {
+			b.FToI(rs[0], rs[1])
+		}
+	case mnemonic == "cmp":
+		rs, err := regs(args, 2)
+		if err != nil {
+			return fmt.Errorf("cmp: %v", err)
+		}
+		b.Cmp(rs[0], rs[1])
+	case mnemonic == "cmpi":
+		if len(args) != 2 {
+			return fmt.Errorf("cmpi: want ra, imm")
+		}
+		ra, err1 := reg(args[0])
+		v, err2 := imm(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return fmt.Errorf("cmpi: %v", err)
+		}
+		b.CmpI(ra, v)
+	case strings.HasPrefix(mnemonic, "ld"), strings.HasPrefix(mnemonic, "st"):
+		return parseMem(b, mnemonic, args)
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	return nil
+}
+
+func parseMem(b *Builder, mnemonic string, args []string) error {
+	bits, err := strconv.Atoi(mnemonic[2:])
+	if err != nil || (bits != 8 && bits != 16 && bits != 32 && bits != 64) {
+		return fmt.Errorf("bad memory width %q", mnemonic)
+	}
+	size := uint8(bits / 8)
+	if len(args) != 2 {
+		return fmt.Errorf("%s: want reg, [base+disp]", mnemonic)
+	}
+	r, err := reg(args[0])
+	if err != nil {
+		return fmt.Errorf("%s: %v", mnemonic, err)
+	}
+	base, disp, err := memOperand(args[1])
+	if err != nil {
+		return fmt.Errorf("%s: %v", mnemonic, err)
+	}
+	if mnemonic[0] == 'l' {
+		b.Load(r, base, disp, size)
+	} else {
+		b.Store(r, base, disp, size)
+	}
+	return nil
+}
+
+// memOperand parses "[rN+disp]" / "[rN-disp]" / "[rN]".
+func memOperand(s string) (Reg, int64, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	if len(inner) < 2 {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	sep := strings.IndexAny(inner[1:], "+-")
+	if sep < 0 {
+		r, err := reg(inner)
+		return r, 0, err
+	}
+	sep++
+	r, err := reg(inner[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	disp, err := strconv.ParseInt(inner[sep:], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad displacement %q", inner[sep:])
+	}
+	return r, disp, nil
+}
+
+func splitArgs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// regs parses exactly n register operands.
+func regs(args []string, n int) ([]Reg, error) {
+	if len(args) != n {
+		return nil, fmt.Errorf("want %d register operands, got %d", n, len(args))
+	}
+	out := make([]Reg, n)
+	for i, a := range args {
+		r, err := reg(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func reg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func imm(s string) (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// bindAt binds a label to an arbitrary instruction index (used for the
+// "@N" absolute targets that Disasm emits). Forward indices are legal
+// because resolution happens in Build.
+func (b *Builder) bindAt(name string, pc int) {
+	if _, dup := b.labels[name]; dup {
+		return
+	}
+	b.labels[name] = pc
+}

@@ -1,0 +1,128 @@
+package isa
+
+import (
+	"testing"
+)
+
+func TestParseBasicProgram(t *testing.T) {
+	src := `
+# sum the numbers 0..9
+        li r1, 0        ; accumulator
+        li r2, 0        // index
+loop:
+        add r1, r1, r2
+        addi r2, r2, 1
+        cmpi r2, 10
+        blt loop
+        halt
+`
+	p, err := Parse("sum", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 7 {
+		t.Fatalf("program length = %d", p.Len())
+	}
+	loop, ok := p.LabelPC("loop")
+	if !ok || loop != 2 {
+		t.Fatalf("loop label = %d, %v", loop, ok)
+	}
+	if p.Code[5].Op != OpBLT || p.Code[5].Imm != 2 {
+		t.Errorf("branch = %+v", p.Code[5])
+	}
+}
+
+func TestParseMemoryOperands(t *testing.T) {
+	p, err := Parse("m", `
+        ld32 r5, [r2+8]
+        ld64 r6, [r3]
+        st16 r7, [r4-12]
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Instr{
+		{Op: OpLoad, Rd: 5, Ra: 2, Imm: 8, Size: 4},
+		{Op: OpLoad, Rd: 6, Ra: 3, Imm: 0, Size: 8},
+		{Op: OpStore, Rb: 7, Ra: 4, Imm: -12, Size: 2},
+		{Op: OpHalt},
+	}
+	for i, w := range want {
+		if p.Code[i] != w {
+			t.Errorf("instr %d = %+v, want %+v", i, p.Code[i], w)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",
+		"add r1, r2",       // missing operand
+		"li r99, 1",        // bad register
+		"ld24 r1, [r2+0]",  // bad width
+		"ld32 r1, r2",      // not a memory operand
+		"addi r1, r2, zzz", // bad immediate
+		"blt",              // missing target
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseAbsoluteTargets(t *testing.T) {
+	p, err := Parse("abs", `
+        li r1, 1
+        jmp @3
+        li r1, 2
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[1].Op != OpJmp || p.Code[1].Imm != 3 {
+		t.Errorf("jmp = %+v", p.Code[1])
+	}
+}
+
+// TestDisasmRoundTrip: parsing the disassembly of a program must
+// reproduce the instruction stream exactly.
+func TestDisasmRoundTrip(t *testing.T) {
+	b := NewBuilder("rt")
+	b.LoadImm(1, 12345)
+	b.LoadImm(2, -7)
+	b.Label("loop")
+	b.Add(3, 1, 2)
+	b.Mul(4, 3, 3)
+	b.ShlI(5, 4, 2)
+	b.Load(6, 5, 16, 4)
+	b.FAdd(7, 6, 6)
+	b.IToF(8, 7)
+	b.FToI(9, 8)
+	b.Store(9, 5, -4, 8)
+	b.Min(10, 9, 1)
+	b.Cmp(10, 1)
+	b.BLT("loop")
+	b.CmpI(10, 99)
+	b.BGE("done")
+	b.Jmp("loop")
+	b.Label("done")
+	b.Nop()
+	b.Halt()
+	orig := b.Build()
+
+	parsed, err := Parse("rt", orig.Disasm())
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, orig.Disasm())
+	}
+	if parsed.Len() != orig.Len() {
+		t.Fatalf("length %d != %d", parsed.Len(), orig.Len())
+	}
+	for i := range orig.Code {
+		if parsed.Code[i] != orig.Code[i] {
+			t.Errorf("instr %d: %+v != %+v", i, parsed.Code[i], orig.Code[i])
+		}
+	}
+}

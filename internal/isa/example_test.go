@@ -1,0 +1,46 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// ExampleBuilder assembles and runs the canonical counted loop.
+func ExampleBuilder() {
+	b := isa.NewBuilder("triangle")
+	sum, i := b.AllocReg(), b.AllocReg()
+	b.Label("loop")
+	b.Add(sum, sum, i)
+	b.AddI(i, i, 1)
+	b.CmpI(i, 10)
+	b.BLT("loop")
+	b.Halt()
+
+	cpu := emu.New(b.Build(), mem.New())
+	cpu.Run(1000)
+	fmt.Println(cpu.Reg(sum))
+	// Output: 45
+}
+
+// ExampleParse assembles the same program from text.
+func ExampleParse() {
+	p, err := isa.Parse("triangle", `
+        # sum 0..9 into r1
+loop:
+        add r1, r1, r2
+        addi r2, r2, 1
+        cmpi r2, 10
+        blt loop
+        halt
+`)
+	if err != nil {
+		panic(err)
+	}
+	cpu := emu.New(p, mem.New())
+	cpu.Run(1000)
+	fmt.Println(cpu.Reg(1))
+	// Output: 45
+}

@@ -1,0 +1,9 @@
+package isa
+
+import "math"
+
+// F2B converts a float64 to its register bit pattern.
+func F2B(f float64) int64 { return int64(math.Float64bits(f)) }
+
+// B2F converts a register bit pattern back to a float64.
+func B2F(b int64) float64 { return math.Float64frombits(uint64(b)) }

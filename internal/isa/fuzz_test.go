@@ -1,0 +1,129 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: arbitrary input must never panic the assembler, and any
+// program it accepts must survive a disasm -> parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("li r1, 42\nhalt\n")
+	f.Add("loop:\n  add r1, r1, r2\n  blt loop\n")
+	f.Add("ld32 r5, [r2+8]\nst64 r3, [r4-8]")
+	f.Add("cmp r1, r2\nbge @0")
+	f.Add("# comment\n;semi\n//slash")
+	f.Add("bogus stuff ][")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		// Successful parses must round trip.
+		again, err := Parse("fuzz2", p.Disasm())
+		if err != nil {
+			// A parseable program whose own disassembly does not parse
+			// is a bug — unless the source bound labels that collide
+			// with disasm's @N form (impossible: @ is not emitted for
+			// user labels) or branch targets point outside the program,
+			// which Disasm renders as plain @N and must still parse.
+			t.Fatalf("disasm of parsed program failed to reparse: %v\n%s", err, p.Disasm())
+		}
+		if again.Len() != p.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", p.Len(), again.Len())
+		}
+	})
+}
+
+// FuzzInstrString: String must never panic for arbitrary encodings.
+func FuzzInstrString(f *testing.F) {
+	f.Add(uint8(0), uint8(1), uint8(2), uint8(3), int64(7), uint8(4))
+	f.Fuzz(func(t *testing.T, op, rd, ra, rb uint8, imm int64, size uint8) {
+		in := Instr{Op: Op(op), Rd: Reg(rd), Ra: Reg(ra), Rb: Reg(rb), Imm: imm, Size: size}
+		if s := in.String(); s == "" {
+			t.Fatal("empty rendering")
+		}
+		in.Kind()
+		in.WritesReg()
+		in.SrcRegs(nil)
+	})
+}
+
+func TestParseLabelColonOnly(t *testing.T) {
+	// A line that is only ":" must error, not panic.
+	if _, err := Parse("x", ":"); err == nil {
+		t.Fatal("expected error for empty label")
+	}
+}
+
+func TestParseBranchToUnboundLabelErrors(t *testing.T) {
+	if _, err := Parse("x", "jmp nowhere"); err == nil {
+		t.Fatal("dangling label should be a parse error")
+	}
+}
+
+func TestParseDuplicateLabelErrors(t *testing.T) {
+	if _, err := Parse("x", "p:p:0"); err == nil {
+		t.Fatal("duplicate label on one line should be a parse error")
+	}
+	if _, err := Parse("x", "a:\nnop\na:\nhalt"); err == nil {
+		t.Fatal("duplicate label should be a parse error")
+	}
+}
+
+func TestParseNumericLabelIgnored(t *testing.T) {
+	// Disassembly line numbers ("  4: addi ...") are not labels.
+	p, err := Parse("x", "  4: addi r1, r1, 1\n  5: halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+}
+
+func TestParseWhitespaceVariants(t *testing.T) {
+	srcs := []string{
+		"add r1,r2,r3",
+		"add  r1 , r2 ,  r3",
+		"\tadd r1, r2, r3\t",
+	}
+	for _, src := range srcs {
+		p, err := Parse("x", src+"\nhalt")
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if p.Code[0].Op != OpAdd {
+			t.Errorf("Parse(%q) = %+v", src, p.Code[0])
+		}
+	}
+}
+
+func TestParseCaseInsensitiveMnemonics(t *testing.T) {
+	p, err := Parse("x", "ADD r1, r2, r3\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Op != OpAdd || p.Code[1].Op != OpHalt {
+		t.Errorf("case-insensitive parse failed: %+v", p.Code)
+	}
+}
+
+// TestParseRejectsGarbage covers a grab-bag of malformed lines.
+func TestParseRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"ld32 r1, [zz+0]",
+		"ld32 r1, [r2+abc]",
+		"st64 [r2+0], r1",
+		"cmp r1",
+		"li r1",
+		"jmp @xx",
+		strings.Repeat("x", 300),
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("Parse(%q) accepted garbage", src)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	for op := OpNop; op < numOps; op++ {
+		if s := op.String(); s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want Kind
+	}{
+		{Instr{Op: OpAdd}, KindALU},
+		{Instr{Op: OpAddI}, KindALU},
+		{Instr{Op: OpMul}, KindMul},
+		{Instr{Op: OpDiv}, KindDiv},
+		{Instr{Op: OpFAdd}, KindFPU},
+		{Instr{Op: OpFDiv}, KindDiv},
+		{Instr{Op: OpLoad}, KindLoad},
+		{Instr{Op: OpStore}, KindStore},
+		{Instr{Op: OpCmp}, KindCmp},
+		{Instr{Op: OpBLT}, KindBranch},
+		{Instr{Op: OpJmp}, KindJump},
+		{Instr{Op: OpHalt}, KindHalt},
+		{Instr{Op: OpNop}, KindNop},
+		{Instr{Op: OpLoadImm}, KindALU},
+		{Instr{Op: OpMin}, KindALU},
+	}
+	for _, c := range cases {
+		if got := c.in.Kind(); got != c.want {
+			t.Errorf("%v Kind = %v, want %v", c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	if r, ok := (Instr{Op: OpAdd, Rd: 5}).WritesReg(); !ok || r != 5 {
+		t.Errorf("add should write r5, got %v %v", r, ok)
+	}
+	if _, ok := (Instr{Op: OpStore}).WritesReg(); ok {
+		t.Error("store should not write a register")
+	}
+	if _, ok := (Instr{Op: OpCmp}).WritesReg(); ok {
+		t.Error("cmp should not write a register")
+	}
+	if r, ok := (Instr{Op: OpLoad, Rd: 7}).WritesReg(); !ok || r != 7 {
+		t.Error("load should write its destination")
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	got := (Instr{Op: OpAdd, Ra: 1, Rb: 2}).SrcRegs(nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("add sources = %v", got)
+	}
+	got = (Instr{Op: OpStore, Ra: 3, Rb: 4}).SrcRegs(nil)
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Errorf("store sources = %v", got)
+	}
+	got = (Instr{Op: OpLoad, Ra: 3, Rd: 4}).SrcRegs(nil)
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("load sources = %v", got)
+	}
+	if got = (Instr{Op: OpLoadImm, Rd: 1}).SrcRegs(nil); len(got) != 0 {
+		t.Errorf("li sources = %v", got)
+	}
+	if got = (Instr{Op: OpBLT}).SrcRegs(nil); len(got) != 0 {
+		t.Errorf("branch sources = %v, branches read only flags", got)
+	}
+}
+
+func TestBuilderLabels(t *testing.T) {
+	b := NewBuilder("t")
+	b.LoadImm(1, 0)
+	b.Label("loop")
+	b.AddI(1, 1, 1)
+	b.CmpI(1, 10)
+	b.BLT("loop") // backward
+	b.BGE("done") // forward
+	b.Jmp("loop")
+	b.Label("done")
+	b.Halt()
+	p := b.Build()
+
+	loop, ok := p.LabelPC("loop")
+	if !ok || loop != 1 {
+		t.Fatalf("loop label = %d, %v", loop, ok)
+	}
+	done, _ := p.LabelPC("done")
+	if p.Code[3].Imm != int64(loop) {
+		t.Errorf("backward branch target = %d, want %d", p.Code[3].Imm, loop)
+	}
+	if p.Code[4].Imm != int64(done) {
+		t.Errorf("forward branch target = %d, want %d", p.Code[4].Imm, done)
+	}
+}
+
+func TestBuilderUndefinedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build with dangling label should panic")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Jmp("nowhere")
+	b.Build()
+}
+
+func TestBuilderDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate label should panic")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestBuilderRegAllocExhaustion(t *testing.T) {
+	b := NewBuilder("t")
+	for i := 0; i < NumRegs-1; i++ {
+		b.AllocReg()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("33rd register should panic")
+		}
+	}()
+	b.AllocReg()
+}
+
+func TestBadAccessSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size 3 load should panic")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Load(1, 2, 0, 3)
+}
+
+func TestDisasmContainsLabels(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("start")
+	b.LoadImm(1, 42)
+	b.Halt()
+	d := b.Build().Disasm()
+	if !strings.Contains(d, "start:") || !strings.Contains(d, "li r1, 42") {
+		t.Errorf("disasm missing pieces:\n%s", d)
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	if err := quick.Check(func(f float64) bool {
+		if f != f { // NaN: compare bit patterns instead
+			return B2F(F2B(f)) != B2F(F2B(f))
+		}
+		return B2F(F2B(f)) == f
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrStringFormats(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpLoad, Rd: 1, Ra: 2, Imm: 8, Size: 8}, "ld64 r1, [r2+8]"},
+		{Instr{Op: OpStore, Rb: 3, Ra: 4, Imm: -4, Size: 4}, "st32 r3, [r4-4]"},
+		{Instr{Op: OpCmp, Ra: 1, Rb: 2}, "cmp r1, r2"},
+		{Instr{Op: OpBLT, Imm: 7}, "blt @7"},
+		{Instr{Op: OpAddI, Rd: 1, Ra: 1, Imm: 4}, "addi r1, r1, 4"},
+		{Instr{Op: OpHalt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

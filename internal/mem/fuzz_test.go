@@ -1,0 +1,28 @@
+package mem
+
+import "testing"
+
+// FuzzReadWrite: arbitrary addresses and sizes must round trip and never
+// panic, including page-straddling accesses.
+func FuzzReadWrite(f *testing.F) {
+	f.Add(uint64(0), uint64(0x1122334455667788), uint8(8))
+	f.Add(uint64(PageSize-3), uint64(0xdeadbeef), uint8(4))
+	f.Fuzz(func(t *testing.T, addr, val uint64, rawSize uint8) {
+		sizes := []uint8{1, 2, 4, 8}
+		size := sizes[rawSize%4]
+		addr &= 1<<40 - 1 // bound the page map
+		m := New()
+		m.Write(addr, val, size)
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*uint(size)) - 1
+		}
+		if got := m.Read(addr, size); got != val&mask {
+			t.Fatalf("round trip: wrote %#x size %d at %#x, read %#x", val, size, addr, got)
+		}
+		// Neighbors stay untouched.
+		if got := m.Read(addr+uint64(size), 1); got != 0 {
+			t.Fatalf("write leaked past its extent: %#x", got)
+		}
+	})
+}

@@ -1,0 +1,179 @@
+// Package mem provides the sparse byte-addressable memory image shared by
+// the functional emulator and the timing models. The SVR engine also reads
+// it directly to obtain speculative lane values during piggyback runahead
+// (the hardware equivalent reads the same values out of the cache).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// PageBits is the log2 of the backing-page size (not the architectural
+// page size; that lives in the TLB model).
+const PageBits = 16
+
+// PageSize is the backing-page size in bytes.
+const PageSize = 1 << PageBits
+
+const pageMask = PageSize - 1
+
+// Memory is a sparse, paged memory image. The zero value is not usable;
+// call New.
+type Memory struct {
+	pages map[uint64][]byte
+	brk   uint64 // allocation cursor for Alloc
+}
+
+// New returns an empty memory image. Allocation starts at a non-zero base
+// so that address 0 is never handed out (nil-pointer-like bugs in kernels
+// then fault loudly in tests rather than aliasing array 0).
+func New() *Memory {
+	return &Memory{pages: make(map[uint64][]byte), brk: 0x10000}
+}
+
+// Alloc reserves n bytes aligned to align (a power of two) and returns the
+// base address. Memory is zero-initialized on first touch.
+func (m *Memory) Alloc(n uint64, align uint64) uint64 {
+	if align == 0 {
+		align = 1
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d not a power of two", align))
+	}
+	base := (m.brk + align - 1) &^ (align - 1)
+	m.brk = base + n
+	return base
+}
+
+// Brk returns the current allocation cursor (total footprint high-water mark).
+func (m *Memory) Brk() uint64 { return m.brk }
+
+func (m *Memory) page(addr uint64) []byte {
+	pn := addr >> PageBits
+	p := m.pages[pn]
+	if p == nil {
+		p = make([]byte, PageSize)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Clone returns a deep copy of the memory image. The simulation harness
+// builds each workload once and clones the image per machine
+// configuration, since timing runs mutate memory through stores.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{pages: make(map[uint64][]byte, len(m.pages)), brk: m.brk}
+	for pn, p := range m.pages {
+		np := make([]byte, PageSize)
+		copy(np, p)
+		c.pages[pn] = np
+	}
+	return c
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		p := m.page(addr)
+		off := addr & pageMask
+		n := copy(dst, p[off:])
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, src []byte) {
+	for len(src) > 0 {
+		p := m.page(addr)
+		off := addr & pageMask
+		n := copy(p[off:], src)
+		src = src[n:]
+		addr += uint64(n)
+	}
+}
+
+// Read returns size bytes at addr zero-extended into a uint64.
+// size must be 1, 2, 4 or 8.
+func (m *Memory) Read(addr uint64, size uint8) uint64 {
+	if off := addr & pageMask; off+uint64(size) <= PageSize {
+		p := m.page(addr)
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+	}
+	// Page-straddling access: slow path.
+	var buf [8]byte
+	m.ReadBytes(addr, buf[:size])
+	switch size {
+	case 1:
+		return uint64(buf[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(buf[:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(buf[:]))
+	case 8:
+		return binary.LittleEndian.Uint64(buf[:])
+	}
+	panic(fmt.Sprintf("mem: bad read size %d", size))
+}
+
+// Write stores the low size bytes of val at addr.
+func (m *Memory) Write(addr uint64, val uint64, size uint8) {
+	if off := addr & pageMask; off+uint64(size) <= PageSize {
+		p := m.page(addr)
+		switch size {
+		case 1:
+			p[off] = byte(val)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(val))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(val))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], val)
+			return
+		}
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], val)
+	switch size {
+	case 1, 2, 4, 8:
+		m.WriteBytes(addr, buf[:size])
+		return
+	}
+	panic(fmt.Sprintf("mem: bad write size %d", size))
+}
+
+// ReadI64 reads a signed 64-bit value.
+func (m *Memory) ReadI64(addr uint64) int64 { return int64(m.Read(addr, 8)) }
+
+// WriteI64 stores a signed 64-bit value.
+func (m *Memory) WriteI64(addr uint64, v int64) { m.Write(addr, uint64(v), 8) }
+
+// ReadU32 reads an unsigned 32-bit value.
+func (m *Memory) ReadU32(addr uint64) uint32 { return uint32(m.Read(addr, 4)) }
+
+// WriteU32 stores an unsigned 32-bit value.
+func (m *Memory) WriteU32(addr uint64, v uint32) { m.Write(addr, uint64(v), 4) }
+
+// ReadF64 reads a float64.
+func (m *Memory) ReadF64(addr uint64) float64 {
+	return math.Float64frombits(m.Read(addr, 8))
+}
+
+// WriteF64 stores a float64.
+func (m *Memory) WriteF64(addr uint64, v float64) {
+	m.Write(addr, math.Float64bits(v), 8)
+}

@@ -1,0 +1,26 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/svr"
+)
+
+// ExampleRunByName simulates one workload on an SVR machine and reads the
+// headline measurements.
+func ExampleRunByName() {
+	cfg := sim.SVRConfig(16)
+	res, err := sim.RunByName("NAS-IS", cfg, sim.QuickParams())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Workload, res.Label, res.SVRStats.Rounds > 0, res.CPI < 5)
+	// Output: NAS-IS SVR16 true true
+}
+
+// ExampleOverheadKiB reproduces Table II's headline number.
+func ExampleOverheadKiB() {
+	fmt.Printf("%.2f KiB\n", svr.OverheadKiB(svr.DefaultOptions()))
+	// Output: 2.17 KiB
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestTimingModelsPreserveArchitecture runs every evaluation workload to
+// completion at tiny scale under each timing model and validates the
+// architectural result with the workload's functional self-check. SVR's
+// transient execution in particular must never leak into architectural
+// state (stores must not be performed, register values must be exact).
+func TestTimingModelsPreserveArchitecture(t *testing.T) {
+	p := Params{Scale: workloads.TinyScale(), Warmup: 0, Measure: 1 << 26}
+	cfgs := []Config{
+		MachineConfig(InO),
+		MachineConfig(IMP),
+		MachineConfig(OoO),
+		SVRConfig(16),
+		SVRConfig(64),
+	}
+	for _, spec := range workloads.Evaluation() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, cfg := range cfgs {
+				inst := spec.Build(p.Scale)
+				res := runInstance(inst, cfg, p)
+				if res.Instrs == 0 {
+					t.Fatalf("%s: nothing executed", cfg.Label)
+				}
+				if inst.Check == nil {
+					t.Skip("no self-check")
+				}
+				if err := inst.Check(inst.Mem); err != nil {
+					t.Fatalf("%s corrupted architectural state: %v", cfg.Label, err)
+				}
+			}
+		})
+	}
+}
+
+// TestTimingDeterminism: same workload, same config, same scale => the
+// exact same cycle count. The simulator must be reproducible.
+func TestTimingDeterminism(t *testing.T) {
+	p := QuickParams()
+	for _, name := range []string{"PR_KR", "HJ8", "Randacc"} {
+		a, err := RunByName(name, SVRConfig(16), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := RunByName(name, SVRConfig(16), p)
+		if a.Cycles != b.Cycles || a.Instrs != b.Instrs ||
+			a.DRAMLoads != b.DRAMLoads {
+			t.Errorf("%s: nondeterministic simulation: %+v vs %+v", name, a.Cycles, b.Cycles)
+		}
+	}
+}
+
+// TestInstructionCountInvariance: the dynamic instruction stream is a
+// function of the program alone — every timing model must see the same
+// committed instruction count over a full run.
+func TestInstructionCountInvariance(t *testing.T) {
+	p := Params{Scale: workloads.TinyScale(), Warmup: 0, Measure: 1 << 26}
+	spec, _ := workloads.Get("PR_KR")
+	var counts []uint64
+	for _, cfg := range []Config{MachineConfig(InO), MachineConfig(OoO), SVRConfig(16)} {
+		res := Run(spec, cfg, p)
+		counts = append(counts, res.Instrs)
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Errorf("instruction counts diverge across timing models: %v", counts)
+	}
+}

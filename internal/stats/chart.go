@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders labeled values as a horizontal ASCII bar chart, the
+// terminal equivalent of the paper's bar figures. Bars scale to width
+// characters at the maximum value.
+type BarChart struct {
+	Title string
+	Unit  string
+	Width int // bar width in characters (default 40)
+
+	labels []string
+	values []float64
+}
+
+// NewBarChart creates an empty chart.
+func NewBarChart(title, unit string) *BarChart {
+	return &BarChart{Title: title, Unit: unit, Width: 40}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	if len(c.values) == 0 {
+		return ""
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxV := c.values[0]
+	maxLabel := 0
+	for i, v := range c.values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(c.labels[i]) > maxLabel {
+			maxLabel = len(c.labels[i])
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, v := range c.values {
+		n := 0
+		if maxV > 0 {
+			n = int(v/maxV*float64(width) + 0.5)
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "  %-*s %s %.3f%s\n", maxLabel, c.labels[i],
+			strings.Repeat("█", n)+strings.Repeat("·", width-n), v, c.Unit)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values for external plotting.
+// Cells containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := range t.Header {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+package svr
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// TestTimeoutTerminatesLongRounds: a chain whose loop body exceeds 256
+// instructions between head-load instances must end rounds by timeout.
+func TestTimeoutTerminatesLongRounds(t *testing.T) {
+	m := mem.New()
+	idx := m.NewArray(1<<14, 4)
+	data := m.NewArray(1<<16, 8)
+	for i := uint64(0); i < idx.N; i++ {
+		idx.Set(i, (i*2654435761)%data.N)
+	}
+	b := isa.NewBuilder("long")
+	rIdx, rData, rI, rA, rV, rSum := isa.Reg(1), isa.Reg(2), isa.Reg(3), isa.Reg(4), isa.Reg(5), isa.Reg(6)
+	b.LoadImm(rIdx, int64(idx.Base))
+	b.LoadImm(rData, int64(data.Base))
+	b.LoadImm(rI, 0)
+	b.Label("loop")
+	b.ShlI(rA, rI, 2)
+	b.Add(rA, rA, rIdx)
+	b.Load(rV, rA, 0, 4) // striding head
+	b.ShlI(rV, rV, 3)
+	b.Add(rV, rV, rData)
+	b.Load(rV, rV, 0, 8)
+	b.Add(rSum, rSum, rV)
+	// 300 filler instructions: the next head instance is past the
+	// 256-instruction PRM timeout.
+	for k := 0; k < 300; k++ {
+		b.AddI(rSum, rSum, 1)
+	}
+	b.AddI(rI, rI, 1)
+	b.CmpI(rI, 1<<12)
+	b.BLT("loop")
+	b.Halt()
+
+	opt := DefaultOptions()
+	_, eng := runWith(t, b.Build(), m, &opt, 1<<20)
+	if eng.Stats.Timeouts == 0 {
+		t.Errorf("no timeouts on a 300-instruction loop body: %+v", eng.Stats)
+	}
+}
+
+// TestUntaintedCompareClearsSpeculativeFlags: a compare on untainted
+// registers inside PRM must drop vectorized flags so later branches do
+// not mask lanes on stale state.
+func TestUntaintedCompareClearsSpeculativeFlags(t *testing.T) {
+	h := cache.NewHierarchy(cache.DefaultConfig())
+	cpu := emu.New(isa.NewBuilder("x").Build(), mem.New())
+	eng := New(DefaultOptions(), h, cpu)
+	var seq uint64
+	for i := uint64(0); i < 4; i++ {
+		driveLoad(eng, &seq, 10, 0x10000+i*4)
+	}
+	if !eng.InPRM() {
+		t.Fatal("PRM not entered")
+	}
+	// Tainted compare: the head load's destination is r6.
+	rec := &emu.DynInstr{Seq: seq, PC: 11, Instr: isa.Instr{Op: isa.OpCmpI, Ra: 6, Imm: 5}}
+	seq++
+	eng.OnIssue(rec, 10, cache.LevelL1)
+	if !eng.flagsVec {
+		t.Fatal("tainted compare did not vectorize flags")
+	}
+	// Untainted compare overwrites the flags.
+	rec = &emu.DynInstr{Seq: seq, PC: 12, Instr: isa.Instr{Op: isa.OpCmpI, Ra: 2, Imm: 5}}
+	eng.OnIssue(rec, 11, cache.LevelL1)
+	if eng.flagsVec {
+		t.Error("untainted compare left speculative flags live")
+	}
+}
+
+// TestBanAbortsActiveRound: when the accuracy monitor bans SVR mid-round,
+// the round must terminate immediately.
+func TestBanAbortsActiveRound(t *testing.T) {
+	h := cache.NewHierarchy(cache.DefaultConfig())
+	cpu := emu.New(isa.NewBuilder("x").Build(), mem.New())
+	opt := DefaultOptions()
+	opt.AccuracyWarmup = 4
+	eng := New(opt, h, cpu)
+	var seq uint64
+	for i := uint64(0); i < 4; i++ {
+		driveLoad(eng, &seq, 10, 0x10000+i*4)
+	}
+	if !eng.InPRM() {
+		t.Fatal("PRM not entered")
+	}
+	// Poison the tracker: plenty of unused evictions.
+	for i := 0; i < 10; i++ {
+		h.Tracker.Mark(uint64(0x900000+i*64), cache.OriginSVR)
+		h.Tracker.Evict(uint64(0x900000 + i*64))
+	}
+	driveLoad(eng, &seq, 10, 0x20000) // next tick evaluates the monitor
+	if !eng.Banned() {
+		t.Fatal("monitor did not ban")
+	}
+	if eng.InPRM() {
+		t.Error("ban left the round running")
+	}
+}
+
+// TestEngineTracerEmitsRoundEvents: PRM entry/exit and SVI events reach
+// an attached tracer.
+func TestEngineTracerEmitsRoundEvents(t *testing.T) {
+	m, idx, data := setupSI()
+	p := buildStrideIndirect(idx, data, 1<<10)
+	hcfg := cache.DefaultConfig()
+	h := cache.NewHierarchy(hcfg)
+	cpu := emu.New(p, m)
+	opt := DefaultOptions()
+	eng := New(opt, h, cpu)
+	ring := trace.NewRing(256)
+	eng.Tracer = ring
+
+	// Drive through the emulator only (engine needs OnIssue calls).
+	var rec emu.DynInstr
+	at := int64(0)
+	for i := 0; i < 20000 && cpu.Step(&rec); i++ {
+		eng.OnIssue(&rec, at, cache.LevelL1)
+		at++
+	}
+	var enters, exits, svis int
+	for _, ev := range ring.Events() {
+		switch ev.Kind {
+		case trace.KindPRMEnter:
+			enters++
+		case trace.KindPRMExit:
+			exits++
+		case trace.KindSVI:
+			svis++
+		}
+	}
+	if enters == 0 || exits == 0 || svis == 0 {
+		t.Errorf("trace events: enter=%d exit=%d svi=%d", enters, exits, svis)
+	}
+}
+
+// TestStoreSVIPrefetchesForOwnership: transient stores prefetch their
+// target line but never write memory.
+func TestStoreSVIPrefetchesForOwnership(t *testing.T) {
+	m := mem.New()
+	idx := m.NewArray(1<<14, 4)
+	out := m.NewArray(1<<17, 8)
+	for i := uint64(0); i < idx.N; i++ {
+		idx.Set(i, (i*2654435761)%out.N)
+	}
+	// Scatter kernel: out[idx[i]] = i (store-only indirect chain).
+	b := isa.NewBuilder("scatter")
+	rIdx, rOut, rI, rA, rV := isa.Reg(1), isa.Reg(2), isa.Reg(3), isa.Reg(4), isa.Reg(5)
+	b.LoadImm(rIdx, int64(idx.Base))
+	b.LoadImm(rOut, int64(out.Base))
+	b.LoadImm(rI, 0)
+	b.Label("loop")
+	b.ShlI(rA, rI, 2)
+	b.Add(rA, rA, rIdx)
+	b.Load(rV, rA, 0, 4) // striding
+	b.ShlI(rV, rV, 3)
+	b.Add(rV, rV, rOut)
+	b.Store(rI, rV, 0, 8) // indirect store
+	b.AddI(rI, rI, 1)
+	b.CmpI(rI, 1<<12)
+	b.BLT("loop")
+	b.Halt()
+
+	opt := DefaultOptions()
+	_, eng := runWith(t, b.Build(), m, &opt, 1<<20)
+	if eng.H.DRAMLoads[cache.OriginSVR] == 0 {
+		t.Error("store chain issued no RFO prefetches")
+	}
+	// Functional state must be exactly the scatter's result: only values
+	// the real stores wrote, never transient lane data.
+	for i := uint64(0); i < out.N; i++ {
+		v := out.GetI(i)
+		if v != 0 && (v < 0 || v >= 1<<12) {
+			t.Fatalf("out[%d] = %d: transient store leaked?", i, v)
+		}
+	}
+}
+
+// TestSRFOverheadScalesWithK: Table II SRF term grows linearly in K.
+func TestSRFOverheadScalesWithK(t *testing.T) {
+	a := DefaultOptions()
+	a.SRFRegs = 4
+	b := DefaultOptions()
+	b.SRFRegs = 8
+	diff := OverheadBits(b) - OverheadBits(a)
+	if want := 4 * 16 * 64; diff < want {
+		t.Errorf("K 4->8 grew %d bits, want >= %d (SRF lanes)", diff, want)
+	}
+}
+
+// TestReturnCounterGating: the faithful all-lanes gating (§IV-A4's
+// scoreboard return counter) can never be faster than idealized per-lane
+// forwarding.
+func TestReturnCounterGating(t *testing.T) {
+	run := func(perLane bool) int64 {
+		m, idx, data := setupSI()
+		opt := DefaultOptions()
+		opt.PerLaneForwarding = perLane
+		core, _ := runWith(t, buildStrideIndirect(idx, data, 1<<12), m, &opt, 1<<21)
+		return core.Cycles()
+	}
+	strict, ideal := run(false), run(true)
+	if ideal > strict {
+		t.Errorf("per-lane forwarding (%d cyc) slower than all-lane gating (%d cyc)",
+			ideal, strict)
+	}
+}

@@ -1,0 +1,206 @@
+package svr
+
+import "repro/internal/isa"
+
+// LastCompare is the LC register: a snapshot of the most recent compare
+// instruction (PC, source operand values and register IDs). Backwards
+// conditional-taken branches train the LBD from it.
+type LastCompare struct {
+	Valid      bool
+	PC         int
+	ValA, ValB int64
+	RegA, RegB isa.Reg
+	BImm       bool // compare-immediate: operand B is a constant
+}
+
+// LBDEntry is one loop-bound-detector row (Fig 10), keyed by the head
+// striding load's PC.
+type LBDEntry struct {
+	PC    int
+	Valid bool
+
+	// Learned compare: which instruction bounds the loop and what its
+	// operands looked like last iteration.
+	CompPC     int
+	ValA, ValB int64
+	RegA, RegB isa.Reg
+	BImm       bool
+	Conf       int // replacement confidence (2-bit)
+
+	// Learned loop structure: the per-iteration increment of the
+	// induction operand, and which side is the constant bound.
+	Increment int64
+	BoundIsA  bool
+	Learned   bool
+
+	// FreshTrain marks that the entry was (re)trained since the last
+	// loop entry; LBD+Wait refuses to predict without it.
+	FreshTrain bool
+
+	// Tournament chooser (2-bit, >= 2 selects the LBD).
+	Tournament int
+
+	// Predictions captured at the last PRM entry, for tournament
+	// training at the next discontinuity.
+	predEWMA, predLBD float64
+	iterAtPred        int
+	havePreds         bool
+}
+
+// LoopBound is the 8-entry loop-bound detector.
+type LoopBound struct {
+	entries []LBDEntry
+}
+
+// NewLoopBound builds a detector with n entries.
+func NewLoopBound(n int) *LoopBound {
+	return &LoopBound{entries: make([]LBDEntry, n)}
+}
+
+// Entry returns the row for head-load pc, allocating (without validating
+// structure) if absent.
+func (l *LoopBound) Entry(pc int) *LBDEntry {
+	e := &l.entries[pc%len(l.entries)]
+	if !e.Valid || e.PC != pc {
+		*e = LBDEntry{PC: pc, Valid: true, Tournament: 1}
+	}
+	return e
+}
+
+// Lookup returns the row for pc only if already allocated to it.
+func (l *LoopBound) Lookup(pc int) *LBDEntry {
+	e := &l.entries[pc%len(l.entries)]
+	if e.Valid && e.PC == pc {
+		return e
+	}
+	return nil
+}
+
+// Train updates the entry from the LC snapshot on a backwards
+// conditional-taken branch (§IV-B2). If the recorded compare PC does not
+// match, confidence decays and the entry is eventually replaced. On a
+// match, if exactly one operand changed since last time, the changing
+// side is the induction variable (its delta the loop increment) and the
+// constant side the bound.
+func (e *LBDEntry) Train(lc LastCompare) {
+	if !lc.Valid {
+		return
+	}
+	if e.CompPC != lc.PC {
+		if e.Conf > 0 {
+			e.Conf--
+			return
+		}
+		// Replace with the new compare.
+		e.CompPC = lc.PC
+		e.ValA, e.ValB = lc.ValA, lc.ValB
+		e.RegA, e.RegB = lc.RegA, lc.RegB
+		e.BImm = lc.BImm
+		e.Learned = false
+		e.FreshTrain = false
+		return
+	}
+	if e.Conf < 3 {
+		e.Conf++
+	}
+	aChanged := lc.ValA != e.ValA
+	bChanged := lc.ValB != e.ValB
+	if aChanged != bChanged {
+		if aChanged {
+			e.Increment = lc.ValA - e.ValA
+			e.BoundIsA = false
+		} else {
+			e.Increment = lc.ValB - e.ValB
+			e.BoundIsA = true
+		}
+		e.Learned = e.Increment != 0
+		e.FreshTrain = e.Learned
+	}
+	e.ValA, e.ValB = lc.ValA, lc.ValB
+	e.RegA, e.RegB = lc.RegA, lc.RegB
+	e.BImm = lc.BImm
+}
+
+// PredictStored predicts remaining iterations from the operand values of
+// the last observed compare (the LBD+Wait policy: no scavenging).
+func (e *LBDEntry) PredictStored() (float64, bool) {
+	if !e.Learned {
+		return 0, false
+	}
+	return e.remaining(e.ValA, e.ValB)
+}
+
+// PredictCV predicts remaining iterations by scavenging the *current*
+// values of the compare's source registers (the LBD+CV policy): the bound
+// register was initialized before the loop and is valid immediately,
+// before the first compare executes.
+func (e *LBDEntry) PredictCV(regRead func(isa.Reg) int64) (float64, bool) {
+	if !e.Learned {
+		return 0, false
+	}
+	a := regRead(e.RegA)
+	b := e.ValB
+	if !e.BImm {
+		b = regRead(e.RegB)
+	}
+	return e.remaining(a, b)
+}
+
+func (e *LBDEntry) remaining(a, b int64) (float64, bool) {
+	if e.Increment == 0 {
+		return 0, false
+	}
+	var induction, bound int64
+	if e.BoundIsA {
+		bound, induction = a, b
+	} else {
+		bound, induction = b, a
+	}
+	rem := float64(bound-induction) / float64(e.Increment)
+	if rem < 0 {
+		return 0, false
+	}
+	return rem, true
+}
+
+// NotePredictions records the competing predictions made at PRM entry so
+// the tournament can be scored at the next discontinuity.
+func (e *LBDEntry) NotePredictions(ewma, lbd float64, iterNow int, lbdOK bool) {
+	e.predEWMA, e.predLBD = ewma, lbd
+	e.iterAtPred = iterNow
+	e.havePreds = lbdOK
+}
+
+// ScoreTournament trains the chooser when the loop ends (stride
+// discontinuity): whichever predictor was closer to the actually observed
+// remaining iterations wins.
+func (e *LBDEntry) ScoreTournament(iterAtEnd int) {
+	if !e.havePreds {
+		return
+	}
+	observed := float64(iterAtEnd - e.iterAtPred)
+	if observed < 0 {
+		observed = float64(iterAtEnd)
+	}
+	errE := abs(e.predEWMA - observed)
+	errL := abs(e.predLBD - observed)
+	switch {
+	case errL < errE:
+		if e.Tournament < 3 {
+			e.Tournament++
+		}
+	case errE < errL:
+		if e.Tournament > 0 {
+			e.Tournament--
+		}
+	}
+	e.havePreds = false
+	e.FreshTrain = false // loop ended: next visit must retrain for +Wait
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

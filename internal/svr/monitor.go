@@ -1,0 +1,59 @@
+package svr
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// monitor implements the usefulness check of §IV-A7: prefetch tags in the
+// cache track first-use and eviction-before-use of SVR-fetched lines;
+// after a 100-event warmup, accuracy below 50% bans all loads from
+// triggering SVR. The ban lifts at the next million-instruction boundary
+// to give SVR another chance.
+type monitor struct {
+	banned      bool
+	baseUsed    int64
+	baseEvicted int64
+	nextRecheck uint64
+	lastTickSeq uint64
+}
+
+// tick polls the prefetch tracker. Called per instruction but the stats
+// read is cheap (two int64 loads).
+func (m *monitor) tick(seq uint64, e *Engine) {
+	st := e.H.Tracker.Stats[cache.OriginSVR]
+	if m.banned {
+		if seq >= m.nextRecheck {
+			m.banned = false
+			m.baseUsed, m.baseEvicted = st.Used, st.EvictedUnused
+		}
+		return
+	}
+	used := st.Used - m.baseUsed
+	evicted := st.EvictedUnused - m.baseEvicted
+	if used+evicted < e.Opt.AccuracyWarmup {
+		return
+	}
+	acc := float64(used) / float64(used+evicted)
+	if acc < e.Opt.AccuracyMin {
+		m.banned = true
+		e.Stats.Bans++
+		if e.Tracer != nil {
+			e.Tracer.Emit(trace.Event{Kind: trace.KindBan, Seq: seq,
+				Text: fmt.Sprintf("accuracy %.2f < %.2f: SVR banned", acc, e.Opt.AccuracyMin)})
+		}
+		interval := e.Opt.AccuracyRecheck
+		if interval == 0 {
+			interval = 1_000_000
+		}
+		m.nextRecheck = (seq/interval + 1) * interval
+		if e.inPRM {
+			e.terminate()
+		}
+	}
+	// Slide the window so accuracy is evaluated over recent behaviour.
+	m.baseUsed, m.baseEvicted = st.Used, st.EvictedUnused
+	m.lastTickSeq = seq
+}

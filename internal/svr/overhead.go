@@ -1,0 +1,74 @@
+package svr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// OverheadItem is one row of the Table II hardware budget.
+type OverheadItem struct {
+	Name string
+	Bits int
+}
+
+// Overhead computes the hardware state budget of Table II for a
+// configuration: stride detector, taint tracker, HSLR, SRF, LC, LBD,
+// scoreboard return counters and L1 prefetch tags.
+func Overhead(opt Options) []OverheadItem {
+	n, k := opt.VectorLen, opt.SRFRegs
+
+	sdEntry := 48 /*PC*/ + 48 /*prev addr*/ + 8 /*stride*/ + 2 /*conf*/ +
+		48 /*last prefetch*/ + 1 /*seen*/ + 16 /*LIL*/ + 2 /*LIL conf*/
+	ttEntry := 1 /*tainted*/ + ceilLog2(k) /*SRF id*/ + 1 /*mapped*/ + 8 /*offset*/
+	hslr := 48 + n                                                       /*mask*/
+	srf := k * n * 64
+	lc := 48 + 64 + 5 + 64 + 5
+	lbdEntry := 48 /*PC*/ + lc /*LC snapshot*/ + 9 /*EWMA*/ + 16 /*increment*/ +
+		9 /*iteration*/ + 2 /*tournament*/
+	sbEntry := ceilLog2(n + 1)
+
+	return []OverheadItem{
+		{fmt.Sprintf("Stride detector (%d entries)", opt.SDEntries), opt.SDEntries * sdEntry},
+		{"Taint tracker (32 arch regs)", 32 * ttEntry},
+		{fmt.Sprintf("HSLR (N=%d mask)", n), hslr},
+		{fmt.Sprintf("SRF (K=%d x N=%d x 64b)", k, n), srf},
+		{"Last compare (LC)", lc},
+		{fmt.Sprintf("LBD (%d entries)", opt.LBDSize), opt.LBDSize * lbdEntry},
+		{"Scoreboard return counters (32)", 32 * sbEntry},
+		{"L1 prefetch tags", 1024},
+	}
+}
+
+// OverheadBits sums the budget.
+func OverheadBits(opt Options) int {
+	total := 0
+	for _, it := range Overhead(opt) {
+		total += it.Bits
+	}
+	return total
+}
+
+// OverheadKiB converts the budget to KiB as reported in Table II.
+func OverheadKiB(opt Options) float64 {
+	return float64(OverheadBits(opt)) / 8 / 1024
+}
+
+// OverheadTable renders the Table II breakdown.
+func OverheadTable(opt Options) string {
+	var b strings.Builder
+	total := 0
+	for _, it := range Overhead(opt) {
+		fmt.Fprintf(&b, "%-36s %6d bits\n", it.Name, it.Bits)
+		total += it.Bits
+	}
+	fmt.Fprintf(&b, "%-36s %6d bits = %.2f KiB\n", "Total", total, float64(total)/8/1024)
+	return b.String()
+}
+
+func ceilLog2(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(x))))
+}

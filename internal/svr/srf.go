@@ -1,0 +1,158 @@
+package svr
+
+import "repro/internal/isa"
+
+// TTEntry is one taint-tracker row (Fig 8), kept per architectural
+// register.
+type TTEntry struct {
+	Tainted bool // register holds a value derived from the striding load
+	Mapped  bool // register currently owns an SRF entry
+	SRF     int  // speculative register id when Mapped
+	Offset  int  // round-relative instruction count of the last read (LRU)
+}
+
+// Lane is one scalar slot of a speculative vector register.
+type Lane struct {
+	Val   int64
+	Ready int64 // cycle the value is available
+	Valid bool  // lane carries a live speculative value
+}
+
+// SRFReg is one speculative vector register: N 64-bit lanes.
+type SRFReg struct {
+	InUse bool
+	Owner isa.Reg
+	Lanes []Lane
+}
+
+// RegFile bundles the taint tracker and speculative register file; the
+// two are coupled because the arch-to-SRF mapping lives in the tracker.
+type RegFile struct {
+	TT  [isa.NumRegs]TTEntry
+	SRF []SRFReg
+
+	recycle RecyclePolicy
+
+	// Stats.
+	Allocs      int64
+	Recycles    int64
+	AllocFails  int64
+	Invalidated int64
+}
+
+// NewRegFile builds a register file with k SRF entries of n lanes each.
+func NewRegFile(k, n int, policy RecyclePolicy) *RegFile {
+	rf := &RegFile{SRF: make([]SRFReg, k), recycle: policy}
+	for i := range rf.SRF {
+		rf.SRF[i].Lanes = make([]Lane, n)
+	}
+	return rf
+}
+
+// Reset clears all taint and frees every SRF entry (PRM exit).
+func (rf *RegFile) Reset() {
+	rf.TT = [isa.NumRegs]TTEntry{}
+	for i := range rf.SRF {
+		rf.SRF[i].InUse = false
+	}
+}
+
+// SourceVector returns the SRF register backing arch register r if it is
+// tainted and still mapped; reading refreshes LRU state with the current
+// round offset.
+func (rf *RegFile) SourceVector(r isa.Reg, offset int) (*SRFReg, bool) {
+	e := &rf.TT[r]
+	if !e.Tainted || !e.Mapped {
+		return nil, false
+	}
+	e.Offset = offset
+	return &rf.SRF[e.SRF], true
+}
+
+// TaintedUnmapped reports whether r is tainted but has lost its SRF
+// mapping (its consumers cannot be vectorized).
+func (rf *RegFile) TaintedUnmapped(r isa.Reg) bool {
+	e := &rf.TT[r]
+	return e.Tainted && !e.Mapped
+}
+
+// MapDest secures an SRF entry for destination register rd at the given
+// round offset. Per the paper: reuse an existing mapping (only one copy
+// of an architectural register is live at once); otherwise allocate a
+// free entry; otherwise recycle the least-recently-read mapping (LRU
+// policy) or fail (DVR's policy). On failure the destination is marked
+// tainted-but-unmapped so downstream consumers are not vectorized.
+func (rf *RegFile) MapDest(rd isa.Reg, offset int) (*SRFReg, bool) {
+	if rd == isa.R0 {
+		return nil, false
+	}
+	e := &rf.TT[rd]
+	if e.Tainted && e.Mapped {
+		e.Offset = offset
+		return &rf.SRF[e.SRF], true
+	}
+	// Free entry?
+	for i := range rf.SRF {
+		if !rf.SRF[i].InUse {
+			rf.claim(rd, i, offset)
+			rf.Allocs++
+			return &rf.SRF[i], true
+		}
+	}
+	if rf.recycle == RecycleNone {
+		e.Tainted, e.Mapped = true, false
+		rf.AllocFails++
+		return nil, false
+	}
+	// LRU recycle: steal from the mapped arch register with the smallest
+	// (stalest) read offset.
+	victim := isa.Reg(0)
+	found := false
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		t := &rf.TT[r]
+		if t.Mapped && (!found || t.Offset < rf.TT[victim].Offset) {
+			victim, found = r, true
+		}
+	}
+	if !found {
+		e.Tainted, e.Mapped = true, false
+		rf.AllocFails++
+		return nil, false
+	}
+	idx := rf.TT[victim].SRF
+	rf.TT[victim].Mapped = false // tainted stays set: consumers blocked
+	rf.Recycles++
+	rf.claim(rd, idx, offset)
+	return &rf.SRF[idx], true
+}
+
+func (rf *RegFile) claim(rd isa.Reg, idx, offset int) {
+	rf.TT[rd] = TTEntry{Tainted: true, Mapped: true, SRF: idx, Offset: offset}
+	rf.SRF[idx].InUse = true
+	rf.SRF[idx].Owner = rd
+}
+
+// Invalidate clears taint on rd because a non-chain instruction overwrote
+// it, freeing its SRF entry.
+func (rf *RegFile) Invalidate(rd isa.Reg) {
+	e := &rf.TT[rd]
+	if !e.Tainted {
+		return
+	}
+	if e.Mapped {
+		rf.SRF[e.SRF].InUse = false
+	}
+	*e = TTEntry{}
+	rf.Invalidated++
+}
+
+// MappedCount returns the number of live arch-to-SRF mappings (tests).
+func (rf *RegFile) MappedCount() int {
+	n := 0
+	for r := range rf.TT {
+		if rf.TT[r].Mapped {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,136 @@
+package svr
+
+// SDEntry is one stride-detector entry (Fig 6): a reference-prediction-
+// table row extended with waiting-mode bounds, the Seen bit for nested-
+// loop detection, last-indirect-load tracking, and the per-PC iteration
+// counter feeding the EWMA loop-bound predictor.
+type SDEntry struct {
+	PC       int
+	Valid    bool
+	PrevAddr uint64
+	Stride   int64
+	Conf     int // 2-bit saturating confidence
+
+	// Waiting mode (§IV-A5): no new PRM round while the observed address
+	// stays inside [WaitLo, WaitHi].
+	Waiting        bool
+	WaitLo, WaitHi uint64
+
+	// Seen marks that this striding load was observed since the last
+	// visit to the HSLR load (§IV-A6).
+	Seen bool
+
+	// LIL: round offset (in dynamic instructions from the head striding
+	// load) of the final dependent load in the chain, with a 2-bit
+	// confidence counter. SVI generation stops past this offset.
+	LIL     uint16
+	LILConf int
+
+	// Iteration counts consecutive same-stride observations; EWMA tracks
+	// their moving average (§IV-B2).
+	Iteration int
+	EWMA      float64
+}
+
+// StrideDetector is the PC-indexed reference prediction table.
+type StrideDetector struct {
+	entries []SDEntry
+}
+
+// NewStrideDetector builds a direct-mapped table with n entries.
+func NewStrideDetector(n int) *StrideDetector {
+	return &StrideDetector{entries: make([]SDEntry, n)}
+}
+
+// Lookup returns the entry for pc if it is currently tracked.
+func (s *StrideDetector) Lookup(pc int) *SDEntry {
+	e := &s.entries[pc%len(s.entries)]
+	if e.Valid && e.PC == pc {
+		return e
+	}
+	return nil
+}
+
+// ObserveOutcome classifies an address observation.
+type ObserveOutcome int
+
+// Observation outcomes.
+const (
+	// ObserveNew: the entry was (re)allocated; no stride known yet.
+	ObserveNew ObserveOutcome = iota
+	// ObserveContinuing: address matched PrevAddr+Stride.
+	ObserveContinuing
+	// ObserveDiscontinuity: address broke the learned stride.
+	ObserveDiscontinuity
+	// ObserveTraining: stride still building confidence.
+	ObserveTraining
+)
+
+// Observe updates the table for a dynamic load at pc touching addr and
+// returns the entry plus what happened. A discontinuity resets the
+// Iteration counter; the caller (engine) updates the EWMA and tournament
+// state first via the returned outcome.
+func (s *StrideDetector) Observe(pc int, addr uint64) (*SDEntry, ObserveOutcome) {
+	e := &s.entries[pc%len(s.entries)]
+	if !e.Valid || e.PC != pc {
+		*e = SDEntry{PC: pc, Valid: true, PrevAddr: addr}
+		return e, ObserveNew
+	}
+	stride := int64(addr) - int64(e.PrevAddr)
+	out := ObserveTraining
+	switch {
+	case stride == e.Stride && stride != 0:
+		if e.Conf < 3 {
+			e.Conf++
+		}
+		e.Iteration++
+		out = ObserveContinuing
+	case stride == 0:
+		// Same address repeated: not a stride pattern; leave state.
+		out = ObserveTraining
+	default:
+		if e.Conf > 0 {
+			out = ObserveDiscontinuity
+		}
+		e.Stride = stride
+		e.Conf = 0
+	}
+	e.PrevAddr = addr
+	return e, out
+}
+
+// Striding reports whether the entry has a confident non-zero stride.
+func (e *SDEntry) Striding(confMin int) bool {
+	return e != nil && e.Conf >= confMin && e.Stride != 0
+}
+
+// InWaitRange reports whether addr falls inside the waiting-mode range.
+func (e *SDEntry) InWaitRange(addr uint64) bool {
+	return e.Waiting && addr >= e.WaitLo && addr <= e.WaitHi
+}
+
+// SetWaitRange enters waiting mode covering the prefetched span
+// [from, to] (normalized for negative strides).
+func (e *SDEntry) SetWaitRange(from, to uint64) {
+	if from > to {
+		from, to = to, from
+	}
+	e.Waiting, e.WaitLo, e.WaitHi = true, from, to
+}
+
+// UpdateEWMA folds the current Iteration count into the moving average
+// using the paper's formula (7/8 old + 1/8 new) and resets the counter.
+func (e *SDEntry) UpdateEWMA() {
+	e.EWMA = 7*e.EWMA/8 + float64(e.Iteration)/8
+	e.Iteration = 0
+}
+
+// ClearSeenExcept clears every Seen bit except the entry at keepPC
+// (keepPC < 0 clears all).
+func (s *StrideDetector) ClearSeenExcept(keepPC int) {
+	for i := range s.entries {
+		if s.entries[i].Valid && s.entries[i].PC != keepPC {
+			s.entries[i].Seen = false
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package svr
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestStrideDetectorLearns(t *testing.T) {
+	sd := NewStrideDetector(32)
+	var e *SDEntry
+	var out ObserveOutcome
+	for i := uint64(0); i < 5; i++ {
+		e, out = sd.Observe(10, 0x1000+i*8)
+	}
+	if !e.Striding(2) {
+		t.Fatalf("stride not learned: %+v", e)
+	}
+	if e.Stride != 8 {
+		t.Errorf("stride = %d", e.Stride)
+	}
+	if out != ObserveContinuing {
+		t.Errorf("outcome = %v", out)
+	}
+	// Observations: new, stride-set, then 3 continuing ones.
+	if e.Iteration != 3 {
+		t.Errorf("iteration = %d", e.Iteration)
+	}
+	// Discontinuity resets confidence-building and reports it.
+	_, out = sd.Observe(10, 0x9000)
+	if out != ObserveDiscontinuity {
+		t.Errorf("discontinuity outcome = %v", out)
+	}
+}
+
+func TestStrideDetectorNegativeStride(t *testing.T) {
+	sd := NewStrideDetector(32)
+	var e *SDEntry
+	for i := int64(20); i >= 0; i-- {
+		e, _ = sd.Observe(5, uint64(0x8000+i*4))
+	}
+	if !e.Striding(2) || e.Stride != -4 {
+		t.Fatalf("negative stride not learned: %+v", e)
+	}
+	e.SetWaitRange(0x8000+10*4, 0x8000) // from > to: must normalize
+	if !e.InWaitRange(0x8000 + 5*4) {
+		t.Error("normalized wait range broken")
+	}
+}
+
+func TestStrideDetectorAliasReplacement(t *testing.T) {
+	sd := NewStrideDetector(4)
+	sd.Observe(1, 0x100)
+	sd.Observe(5, 0x200) // aliases entry 1 in a 4-entry table
+	if sd.Lookup(1) != nil {
+		t.Error("aliased entry not replaced")
+	}
+	if sd.Lookup(5) == nil {
+		t.Error("new entry missing")
+	}
+}
+
+func TestWaitRange(t *testing.T) {
+	e := &SDEntry{}
+	e.SetWaitRange(100, 200)
+	if !e.InWaitRange(100) || !e.InWaitRange(200) || !e.InWaitRange(150) {
+		t.Error("inside addresses not detected")
+	}
+	if e.InWaitRange(99) || e.InWaitRange(201) {
+		t.Error("outside addresses wrongly in range")
+	}
+	e.Waiting = false
+	if e.InWaitRange(150) {
+		t.Error("cleared waiting still active")
+	}
+}
+
+func TestEWMAFormula(t *testing.T) {
+	e := &SDEntry{EWMA: 8, Iteration: 16}
+	e.UpdateEWMA()
+	if want := 7.0*8/8 + 16.0/8; e.EWMA != want {
+		t.Errorf("EWMA = %v, want %v", e.EWMA, want)
+	}
+	if e.Iteration != 0 {
+		t.Error("iteration not reset")
+	}
+}
+
+func TestClearSeenExcept(t *testing.T) {
+	sd := NewStrideDetector(8)
+	for pc := 0; pc < 4; pc++ {
+		e, _ := sd.Observe(pc, 0x1000)
+		e.Seen = true
+	}
+	sd.ClearSeenExcept(2)
+	for pc := 0; pc < 4; pc++ {
+		e := sd.Lookup(pc)
+		if (pc == 2) != e.Seen {
+			t.Errorf("pc %d Seen = %v", pc, e.Seen)
+		}
+	}
+}
+
+func TestRegFileMapAndReuse(t *testing.T) {
+	rf := NewRegFile(2, 4, RecycleLRU)
+	s1, ok := rf.MapDest(5, 0)
+	if !ok || s1 == nil {
+		t.Fatal("first mapping failed")
+	}
+	s2, ok := rf.MapDest(5, 1)
+	if !ok || s2 != s1 {
+		t.Error("remapping same register must reuse the SRF entry")
+	}
+	if rf.Allocs != 1 {
+		t.Errorf("allocs = %d", rf.Allocs)
+	}
+}
+
+func TestRegFileLRURecycle(t *testing.T) {
+	rf := NewRegFile(2, 4, RecycleLRU)
+	rf.MapDest(1, 0)
+	rf.MapDest(2, 1)
+	// Read r1 at offset 5 so r2 (offset 1) becomes LRU.
+	if _, ok := rf.SourceVector(1, 5); !ok {
+		t.Fatal("r1 should be readable")
+	}
+	if _, ok := rf.MapDest(3, 6); !ok {
+		t.Fatal("recycle should succeed")
+	}
+	if rf.Recycles != 1 {
+		t.Errorf("recycles = %d", rf.Recycles)
+	}
+	// r2 lost its mapping but stays tainted: consumers blocked.
+	if !rf.TaintedUnmapped(2) {
+		t.Error("victim should be tainted-unmapped")
+	}
+	if _, ok := rf.SourceVector(2, 7); ok {
+		t.Error("unmapped register should not be a vector source")
+	}
+	if _, ok := rf.SourceVector(1, 8); !ok {
+		t.Error("survivor lost its mapping")
+	}
+}
+
+func TestRegFileRecycleNoneFails(t *testing.T) {
+	rf := NewRegFile(1, 4, RecycleNone)
+	rf.MapDest(1, 0)
+	if _, ok := rf.MapDest(2, 1); ok {
+		t.Fatal("DVR policy must fail when SRF exhausted")
+	}
+	if rf.AllocFails != 1 {
+		t.Errorf("alloc fails = %d", rf.AllocFails)
+	}
+	if !rf.TaintedUnmapped(2) {
+		t.Error("failed destination should be tainted-unmapped")
+	}
+}
+
+func TestRegFileInvalidate(t *testing.T) {
+	rf := NewRegFile(2, 4, RecycleLRU)
+	rf.MapDest(1, 0)
+	rf.Invalidate(1)
+	if rf.TT[1].Tainted || rf.TT[1].Mapped {
+		t.Error("invalidate did not clear taint")
+	}
+	// SRF entry freed: two more mappings must succeed without recycling.
+	rf.MapDest(2, 1)
+	rf.MapDest(3, 2)
+	if rf.Recycles != 0 {
+		t.Errorf("recycles = %d, want 0", rf.Recycles)
+	}
+}
+
+func TestRegFileReset(t *testing.T) {
+	rf := NewRegFile(2, 4, RecycleLRU)
+	rf.MapDest(1, 0)
+	rf.MapDest(2, 1)
+	rf.Reset()
+	if rf.MappedCount() != 0 {
+		t.Error("reset left mappings")
+	}
+	for i := range rf.SRF {
+		if rf.SRF[i].InUse {
+			t.Error("reset left SRF in use")
+		}
+	}
+}
+
+func TestLBDTrainAndPredict(t *testing.T) {
+	lb := NewLoopBound(8)
+	e := lb.Entry(100)
+	// Simulate for (i = 0; i < 40; i++) with compare cmp(i, 40):
+	// operand A is the induction variable, B the bound.
+	for i := int64(1); i <= 4; i++ {
+		e.Train(LastCompare{Valid: true, PC: 7, ValA: i, ValB: 40, RegA: 3, RegB: 4})
+	}
+	if !e.Learned {
+		t.Fatal("loop structure not learned")
+	}
+	if e.Increment != 1 || e.BoundIsA {
+		t.Errorf("increment = %d, boundIsA = %v", e.Increment, e.BoundIsA)
+	}
+	// Stored prediction from last compare (i=4): 36 remaining.
+	rem, ok := e.PredictStored()
+	if !ok || rem != 36 {
+		t.Errorf("stored prediction = %v, %v", rem, ok)
+	}
+	// CV scavenging with current register values i=10: 30 remaining.
+	rem, ok = e.PredictCV(func(r isa.Reg) int64 {
+		if r == 3 {
+			return 10
+		}
+		return 40
+	})
+	if !ok || rem != 30 {
+		t.Errorf("CV prediction = %v, %v", rem, ok)
+	}
+}
+
+func TestLBDCompareImmediate(t *testing.T) {
+	lb := NewLoopBound(8)
+	e := lb.Entry(50)
+	for i := int64(1); i <= 3; i++ {
+		e.Train(LastCompare{Valid: true, PC: 9, ValA: i, ValB: 100, RegA: 2, BImm: true})
+	}
+	rem, ok := e.PredictCV(func(r isa.Reg) int64 { return 90 })
+	if !ok || rem != 10 {
+		t.Errorf("imm-bound CV prediction = %v, %v", rem, ok)
+	}
+}
+
+func TestLBDReplacementOnCompPCChange(t *testing.T) {
+	lb := NewLoopBound(8)
+	e := lb.Entry(100)
+	for i := int64(1); i <= 3; i++ {
+		e.Train(LastCompare{Valid: true, PC: 7, ValA: i, ValB: 40, RegA: 3, RegB: 4})
+	}
+	conf := e.Conf
+	// A different compare decays confidence, then replaces.
+	for j := 0; j <= conf; j++ {
+		e.Train(LastCompare{Valid: true, PC: 9, ValA: 5, ValB: 6, RegA: 1, RegB: 2})
+	}
+	if e.CompPC != 9 {
+		t.Errorf("compare not replaced: compPC = %d", e.CompPC)
+	}
+	if e.Learned {
+		t.Error("replacement must clear learned structure")
+	}
+}
+
+func TestLBDBothOperandsChangedIgnored(t *testing.T) {
+	lb := NewLoopBound(8)
+	e := lb.Entry(100)
+	e.Train(LastCompare{Valid: true, PC: 7, ValA: 1, ValB: 40, RegA: 3, RegB: 4})
+	e.Train(LastCompare{Valid: true, PC: 7, ValA: 9, ValB: 77, RegA: 3, RegB: 4})
+	if e.Learned {
+		t.Error("both-changed training must not learn an increment")
+	}
+}
+
+func TestTournamentScoring(t *testing.T) {
+	lb := NewLoopBound(8)
+	e := lb.Entry(100)
+	start := e.Tournament
+	// LBD predicted 10, EWMA predicted 3; observed 10 -> LBD wins.
+	e.NotePredictions(3, 10, 0, true)
+	e.ScoreTournament(10)
+	if e.Tournament != start+1 {
+		t.Errorf("tournament after LBD win = %d, want %d", e.Tournament, start+1)
+	}
+	// EWMA closer -> decrement.
+	e.NotePredictions(9, 2, 0, true)
+	e.ScoreTournament(10)
+	if e.Tournament != start {
+		t.Errorf("tournament after EWMA win = %d, want %d", e.Tournament, start)
+	}
+	// No predictions noted: no change.
+	e.ScoreTournament(5)
+	if e.Tournament != start {
+		t.Error("scoring without predictions changed state")
+	}
+}
+
+func TestOverheadTableII(t *testing.T) {
+	// Paper Table II: SVR-16 with K=8 is 2.17 KiB.
+	kib := OverheadKiB(DefaultOptions())
+	if kib < 2.0 || kib > 2.4 {
+		t.Errorf("SVR-16 overhead = %.2f KiB, want ~2.17", kib)
+	}
+	// SVR-128 grows to ~9 KiB (SRF dominates).
+	big := DefaultOptions()
+	big.VectorLen = 128
+	kib = OverheadKiB(big)
+	if kib < 8.0 || kib > 11.0 {
+		t.Errorf("SVR-128 overhead = %.2f KiB, want ~9", kib)
+	}
+	if OverheadTable(DefaultOptions()) == "" {
+		t.Error("empty overhead table")
+	}
+}
+
+func TestOverheadMonotonicInN(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		o := DefaultOptions()
+		o.VectorLen = n
+		k := OverheadKiB(o)
+		if k <= prev {
+			t.Errorf("overhead not increasing at N=%d: %v <= %v", n, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	var zero Options
+	n := zero.Normalize()
+	if n.VectorLen < 1 || n.SRFRegs < 1 || n.Width < 1 || n.ScalarsPerSlot < 1 ||
+		n.SDEntries < 1 || n.LBDSize < 1 || n.PRMTimeout < 1 || n.StrideConfMin < 1 {
+		t.Errorf("Normalize left zero fields: %+v", n)
+	}
+	// Valid options pass through unchanged.
+	d := DefaultOptions()
+	if d.Normalize() != d {
+		t.Error("Normalize changed valid defaults")
+	}
+}

@@ -1,0 +1,146 @@
+// Package trace provides structured event tracing for the timing models:
+// per-instruction issue/complete records from the cores and
+// runahead-engine events (round entry, SVI generation, masking,
+// termination). A Ring tracer keeps the most recent events for
+// interactive inspection (svrsim trace); the package costs nothing when
+// no tracer is attached.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindIssue    Kind = iota // instruction issued
+	KindComplete             // instruction result ready (loads)
+	KindPRMEnter             // SVR round began
+	KindPRMExit              // SVR round ended
+	KindSVI                  // scalar-vector instruction generated
+	KindMask                 // lanes masked by divergence
+	KindBan                  // accuracy monitor ban
+	KindRetarget             // HSLR retarget / nested abort
+)
+
+var kindNames = []string{"issue", "complete", "prm+", "prm-", "svi", "mask", "ban", "retarget"}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Event is one trace record.
+type Event struct {
+	Kind  Kind
+	Seq   uint64 // dynamic instruction number
+	PC    int
+	Cycle int64
+	Text  string // pre-rendered detail (instruction disasm, SVI info)
+	Arg   int64  // kind-specific: lanes, addresses, etc.
+}
+
+// String renders one event as a trace line.
+func (e Event) String() string {
+	return fmt.Sprintf("%10d  %-8s pc=%-5d seq=%-8d %s",
+		e.Cycle, e.Kind, e.PC, e.Seq, e.Text)
+}
+
+// Tracer receives events. Implementations must be cheap; hot paths call
+// Emit once per instruction.
+type Tracer interface {
+	Emit(ev Event)
+}
+
+// Ring keeps the last N events.
+type Ring struct {
+	buf  []Event
+	next int
+	full bool
+	n    int64
+}
+
+// NewRing builds a ring tracer holding n events.
+func NewRing(n int) *Ring { return &Ring{buf: make([]Event, n)} }
+
+// Emit stores the event, overwriting the oldest.
+func (r *Ring) Emit(ev Event) {
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.n++
+}
+
+// Len reports the number of retained events.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total reports how many events were emitted overall.
+func (r *Ring) Total() int64 { return r.n }
+
+// Events returns the retained events oldest-first.
+func (r *Ring) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump writes the retained events to w, oldest first.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, ev := range r.Events() {
+		if _, err := fmt.Fprintln(w, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Filter returns retained events of the given kinds (empty = all).
+func (r *Ring) Filter(kinds ...Kind) []Event {
+	if len(kinds) == 0 {
+		return r.Events()
+	}
+	want := map[Kind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []Event
+	for _, ev := range r.Events() {
+		if want[ev.Kind] {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Summary renders per-kind counts of the retained window.
+func (r *Ring) Summary() string {
+	counts := map[Kind]int{}
+	for _, ev := range r.Events() {
+		counts[ev.Kind]++
+	}
+	var b strings.Builder
+	for k := Kind(0); int(k) < len(kindNames); k++ {
+		if counts[k] > 0 {
+			fmt.Fprintf(&b, "%s=%d ", k, counts[k])
+		}
+	}
+	return strings.TrimSpace(b.String())
+}

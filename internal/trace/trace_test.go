@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRingRetainsMostRecent(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: KindIssue, Seq: uint64(i), Cycle: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Seq != want {
+			t.Errorf("event %d seq = %d, want %d (oldest-first)", i, ev.Seq, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("total = %d", r.Total())
+	}
+	if r.Len() != 4 {
+		t.Errorf("len = %d", r.Len())
+	}
+}
+
+func TestRingPartiallyFilled(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(Event{Seq: 1})
+	r.Emit(Event{Seq: 2})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(Event{Kind: KindIssue})
+	r.Emit(Event{Kind: KindSVI})
+	r.Emit(Event{Kind: KindIssue})
+	if got := r.Filter(KindSVI); len(got) != 1 || got[0].Kind != KindSVI {
+		t.Errorf("filter = %+v", got)
+	}
+	if got := r.Filter(); len(got) != 3 {
+		t.Errorf("unfiltered = %d", len(got))
+	}
+}
+
+func TestDumpAndSummary(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(Event{Kind: KindPRMEnter, PC: 7, Cycle: 100, Text: "head=7 lanes=16"})
+	r.Emit(Event{Kind: KindSVI, PC: 9, Cycle: 101, Text: "ld64 r6, [r5+0] x16"})
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "prm+") || !strings.Contains(out, "lanes=16") {
+		t.Errorf("dump:\n%s", out)
+	}
+	if s := r.Summary(); !strings.Contains(s, "prm+=1") || !strings.Contains(s, "svi=1") {
+		t.Errorf("summary: %s", s)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := Kind(0); k <= KindRetarget; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// SPEC CPU2017 proxies (Fig 14). The paper evaluates SVR's overhead on
+// workloads with no stride->indirect chains to vectorize; these proxies
+// reproduce the four behaviour classes SPECrate 2017 spans — dense
+// floating-point streaming, stencil sweeps, branchy integer code, and
+// pointer-heavy traversal — none of which give SVR anything to do.
+// Per DESIGN.md substitution 6, each SPEC benchmark maps to the proxy of
+// its dominant behaviour.
+
+type specClass int
+
+const (
+	classDenseFP specClass = iota
+	classStencil
+	classBranchy
+	classPointer
+)
+
+// String names the behaviour class.
+func (c specClass) String() string {
+	switch c {
+	case classDenseFP:
+		return "dense-FP"
+	case classStencil:
+		return "stencil"
+	case classBranchy:
+		return "branchy-int"
+	default:
+		return "pointer-chase"
+	}
+}
+
+// specBenchmarks maps each Fig 14 benchmark to its behaviour class.
+var specBenchmarks = []struct {
+	name  string
+	class specClass
+}{
+	{"perlbench", classBranchy},
+	{"gcc", classBranchy},
+	{"bwaves", classDenseFP},
+	{"mcf", classPointer},
+	{"cactuBSSN", classStencil},
+	{"namd", classDenseFP},
+	{"parest", classStencil},
+	{"povray", classDenseFP},
+	{"lbm", classStencil},
+	{"omnetpp", classPointer},
+	{"wrf", classStencil},
+	{"xalancbmk", classPointer},
+	{"x264", classStencil},
+	{"blender", classDenseFP},
+	{"cam4", classStencil},
+	{"deepsjeng", classBranchy},
+	{"imagick", classStencil},
+	{"leela", classBranchy},
+	{"nab", classDenseFP},
+	{"exchange2", classBranchy},
+	{"fotonik3d", classStencil},
+	{"roms", classDenseFP},
+	{"xz", classBranchy},
+}
+
+func init() {
+	for i, sb := range specBenchmarks {
+		sb, i := sb, i
+		register(Spec{
+			Name:  sb.name,
+			Group: "spec",
+			Desc:  "SPEC CPU2017 proxy (" + sb.class.String() + " class)",
+			Build: func(sc Scale) *Instance { return buildSpecProxy(sb.name, sb.class, sc, int64(i)) },
+		})
+	}
+}
+
+// SPECNames returns the Fig 14 benchmark list in paper order.
+func SPECNames() []string {
+	out := make([]string, len(specBenchmarks))
+	for i, sb := range specBenchmarks {
+		out[i] = sb.name
+	}
+	return out
+}
+
+func buildSpecProxy(name string, class specClass, sc Scale, salt int64) *Instance {
+	switch class {
+	case classDenseFP:
+		return buildDenseFP(name, sc)
+	case classStencil:
+		return buildStencil(name, sc)
+	case classBranchy:
+		return buildBranchy(name, sc, salt)
+	default:
+		return buildPointerChase(name, sc, salt)
+	}
+}
+
+// buildDenseFP streams two arrays through a fused multiply-add loop —
+// compute-bound, perfectly strided.
+func buildDenseFP(name string, sc Scale) *Instance {
+	m := mem.New()
+	n := uint64(sc.Elems)
+	a := m.NewArray(n, 8)
+	bArr := m.NewArray(n, 8)
+	c := m.NewArray(n, 8)
+	for i := uint64(0); i < n; i++ {
+		a.SetF(i, float64(i%13)*0.5)
+		bArr.SetF(i, float64(i%7)*1.25)
+	}
+	b := isa.NewBuilder(name)
+	rA, rB, rC, rI, rN := b.AllocReg(), b.AllocReg(), b.AllocReg(), b.AllocReg(), b.AllocReg()
+	rT, rX, rY := b.AllocReg(), b.AllocReg(), b.AllocReg()
+	b.LoadImm(rA, int64(a.Base))
+	b.LoadImm(rB, int64(bArr.Base))
+	b.LoadImm(rC, int64(c.Base))
+	b.LoadImm(rI, 0)
+	b.LoadImm(rN, int64(n))
+	b.Label("loop")
+	b.ShlI(rT, rI, 3)
+	b.Add(rX, rT, rA)
+	b.Load(rX, rX, 0, 8)
+	b.Add(rY, rT, rB)
+	b.Load(rY, rY, 0, 8)
+	b.FMul(rX, rX, rY)
+	b.FAdd(rX, rX, rY)
+	b.Add(rT, rT, rC)
+	b.Store(rX, rT, 0, 8)
+	b.AddI(rI, rI, 1)
+	b.Cmp(rI, rN)
+	b.BLT("loop")
+	b.Halt()
+	return &Instance{Name: name, Prog: b.Build(), Mem: m}
+}
+
+// buildStencil sweeps a 1-D three-point stencil — neighboring loads, all
+// strided, moderate FP work.
+func buildStencil(name string, sc Scale) *Instance {
+	m := mem.New()
+	n := uint64(sc.Elems)
+	src := m.NewArray(n, 8)
+	dst := m.NewArray(n, 8)
+	for i := uint64(0); i < n; i++ {
+		src.SetF(i, float64(i%17)*0.3)
+	}
+	b := isa.NewBuilder(name)
+	rS, rD, rI, rN := b.AllocReg(), b.AllocReg(), b.AllocReg(), b.AllocReg()
+	rT, rL, rCt, rR := b.AllocReg(), b.AllocReg(), b.AllocReg(), b.AllocReg()
+	rThird := b.AllocReg()
+	b.LoadImm(rS, int64(src.Base))
+	b.LoadImm(rD, int64(dst.Base))
+	b.LoadImm(rI, 1)
+	b.LoadImm(rN, int64(n-1))
+	b.LoadImmF(rThird, 1.0/3)
+	b.Label("loop")
+	b.ShlI(rT, rI, 3)
+	b.Add(rT, rT, rS)
+	b.Load(rL, rT, -8, 8)
+	b.Load(rCt, rT, 0, 8)
+	b.Load(rR, rT, 8, 8)
+	b.FAdd(rL, rL, rCt)
+	b.FAdd(rL, rL, rR)
+	b.FMul(rL, rL, rThird)
+	b.ShlI(rT, rI, 3)
+	b.Add(rT, rT, rD)
+	b.Store(rL, rT, 0, 8)
+	b.AddI(rI, rI, 1)
+	b.Cmp(rI, rN)
+	b.BLT("loop")
+	b.Halt()
+	return &Instance{Name: name, Prog: b.Build(), Mem: m}
+}
+
+// buildBranchy runs data-dependent control flow over a small working set —
+// the branch predictor, not the memory system, is the bottleneck.
+func buildBranchy(name string, sc Scale, salt int64) *Instance {
+	m := mem.New()
+	n := uint64(sc.Elems) / 4
+	data := m.NewArray(n, 8)
+	rng := lcg(uint64(sc.Seed + salt*101))
+	for i := uint64(0); i < n; i++ {
+		data.Set(i, rng.next())
+	}
+	b := isa.NewBuilder(name)
+	rD, rI, rN, rT, rV, rAcc := b.AllocReg(), b.AllocReg(), b.AllocReg(), b.AllocReg(), b.AllocReg(), b.AllocReg()
+	b.LoadImm(rD, int64(data.Base))
+	b.LoadImm(rI, 0)
+	b.LoadImm(rN, int64(n))
+	b.Label("loop")
+	b.ShlI(rT, rI, 3)
+	b.Add(rT, rT, rD)
+	b.Load(rV, rT, 0, 8)
+	b.AndI(rT, rV, 3)
+	b.CmpI(rT, 0)
+	b.BEQ("c0")
+	b.CmpI(rT, 1)
+	b.BEQ("c1")
+	b.CmpI(rT, 2)
+	b.BEQ("c2")
+	b.XorI(rAcc, rAcc, 0x55)
+	b.Jmp("cont")
+	b.Label("c0")
+	b.AddI(rAcc, rAcc, 3)
+	b.Jmp("cont")
+	b.Label("c1")
+	b.ShlI(rAcc, rAcc, 1)
+	b.Jmp("cont")
+	b.Label("c2")
+	b.Add(rAcc, rAcc, rV)
+	b.Label("cont")
+	b.AddI(rI, rI, 1)
+	b.Cmp(rI, rN)
+	b.BLT("loop")
+	b.Halt()
+	return &Instance{Name: name, Prog: b.Build(), Mem: m}
+}
+
+// buildPointerChase walks a shuffled linked ring — latency-bound with no
+// striding loads at all (mcf/omnetpp/xalancbmk behaviour).
+func buildPointerChase(name string, sc Scale, salt int64) *Instance {
+	m := mem.New()
+	n := uint64(sc.Elems) / 2
+	nodes := m.NewArray(n, 8)
+	perm := make([]uint64, n)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	x := uint64(sc.Seed + salt*977 + 11)
+	for i := int(n) - 1; i > 0; i-- {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		j := x % uint64(i+1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := uint64(0); i < n; i++ {
+		nodes.SetI(perm[i], int64(nodes.Addr(perm[(i+1)%n])))
+	}
+	b := isa.NewBuilder(name)
+	rP, rI, rN := b.AllocReg(), b.AllocReg(), b.AllocReg()
+	b.LoadImm(rP, int64(nodes.Addr(perm[0])))
+	b.LoadImm(rI, 0)
+	b.LoadImm(rN, int64(n*4))
+	b.Label("loop")
+	b.Load(rP, rP, 0, 8)
+	b.AddI(rI, rI, 1)
+	b.Cmp(rI, rN)
+	b.BLT("loop")
+	b.Halt()
+	return &Instance{Name: name, Prog: b.Build(), Mem: m}
+}
