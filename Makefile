@@ -24,9 +24,12 @@ fuzz:
 	$(GO) test -fuzz FuzzInstrString -fuzztime 15s ./internal/isa/
 	$(GO) test -fuzz FuzzReadWrite -fuzztime 15s ./internal/mem/
 
+fmt:
+	gofmt -w .
+
 vet:
 	$(GO) vet ./...
-	gofmt -l .
+	test -z "$$(gofmt -l .)"
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -30,6 +30,10 @@ func expParams(wls []string) sim.ExpParams {
 
 func runExperiment(b *testing.B, id string, wls []string, metrics []string) {
 	b.Helper()
+	// The memoized run cache would turn every iteration after the first
+	// into a lookup; benchmarks measure real simulation work, so run cold.
+	prev := sim.SetRunCacheEnabled(false)
+	defer sim.SetRunCacheEnabled(prev)
 	e, err := sim.GetExperiment(id)
 	if err != nil {
 		b.Fatal(err)

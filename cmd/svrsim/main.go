@@ -88,6 +88,8 @@ func usage() {
 run/all flags:
   -quick             small inputs and short windows
   -csv               emit tables as CSV for plotting
+  -json              emit reports as JSON (values, tables, scheduler counters)
+  -cold              disable the memoized run cache (re-simulate every cell)
   -workloads a,b,c   restrict to named workloads
   -measure N         measured instructions per run
   -warmup N          warmup instructions per run
@@ -97,6 +99,8 @@ run/all flags:
 func expFlags(args []string) (sim.ExpParams, []string, error) {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	csvF := fs.Bool("csv", false, "emit tables as CSV")
+	jsonF := fs.Bool("json", false, "emit reports as JSON")
+	coldF := fs.Bool("cold", false, "disable the memoized run cache")
 	quickF := fs.Bool("quick", false, "small inputs, short windows")
 	wls := fs.String("workloads", "", "comma-separated workload filter")
 	measure := fs.Uint64("measure", 0, "measured instructions")
@@ -118,18 +122,66 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 		p.Workloads = strings.Split(*wls, ",")
 	}
 	csvMode = *csvF
+	jsonMode = *jsonF
+	coldMode = *coldF
 	return p, fs.Args(), nil
 }
 
-// csvMode switches run/all output to CSV (set by expFlags).
-var csvMode bool
+// csvMode / jsonMode switch run/all output format; coldMode disables the
+// run cache (all set by expFlags).
+var csvMode, jsonMode, coldMode bool
 
-func printReport(w io.Writer, r *sim.Report) {
+func printReport(w io.Writer, r *sim.Report) error {
+	if jsonMode {
+		blob, err := r.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\n", blob)
+		return nil
+	}
 	if csvMode {
 		fmt.Fprint(w, r.CSV())
-		return
+		return nil
 	}
 	fmt.Fprint(w, r)
+	return nil
+}
+
+// progressPrinter reports scheduler progress on stderr as experiments
+// run: cells completed, served from cache, and remaining. curExp names
+// the experiment whose matrix is in flight.
+func progressPrinter(curExp *string) func(sim.CellEvent) {
+	cached := 0
+	return func(ev sim.CellEvent) {
+		if ev.Done == 1 {
+			cached = 0
+		}
+		if ev.Cached {
+			cached++
+		}
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells (%d cached, %d remaining)",
+			*curExp, ev.Done, ev.Cells, cached, ev.Cells-ev.Done)
+		if ev.Done == ev.Cells {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
+// applyRunFlags activates -cold and progress reporting for run/all; the
+// returned cleanup restores the process-wide state.
+func applyRunFlags(curExp *string) func() {
+	prevCache := true
+	if coldMode {
+		prevCache = sim.SetRunCacheEnabled(false)
+	}
+	sim.SetProgressHook(progressPrinter(curExp))
+	return func() {
+		sim.SetProgressHook(nil)
+		if coldMode {
+			sim.SetRunCacheEnabled(prevCache)
+		}
+	}
 }
 
 func cmdList(w io.Writer) error {
@@ -159,8 +211,9 @@ func cmdRun(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
-	printReport(w, e.Run(p))
-	return nil
+	cleanup := applyRunFlags(&id)
+	defer cleanup()
+	return printReport(w, e.Run(p))
 }
 
 func cmdAll(w io.Writer, args []string) error {
@@ -168,9 +221,37 @@ func cmdAll(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
-	for _, e := range sim.Experiments() {
-		printReport(w, e.Run(p))
-		fmt.Fprintln(w)
+	var curExp string
+	cleanup := applyRunFlags(&curExp)
+	defer cleanup()
+	if jsonMode {
+		var blobs []json.RawMessage
+		for _, e := range sim.Experiments() {
+			curExp = e.ID
+			blob, err := e.Run(p).JSON()
+			if err != nil {
+				return err
+			}
+			blobs = append(blobs, blob)
+		}
+		out, err := json.MarshalIndent(blobs, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\n", out)
+	} else {
+		for _, e := range sim.Experiments() {
+			curExp = e.ID
+			if err := printReport(w, e.Run(p)); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	hits, misses := sim.RunCacheStats()
+	if total := hits + misses; total > 0 {
+		fmt.Fprintf(os.Stderr, "run cache: %d of %d cells served from cache (%.0f%%)\n",
+			hits, total, 100*float64(hits)/float64(total))
 	}
 	return nil
 }

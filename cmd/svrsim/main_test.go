@@ -105,6 +105,30 @@ func TestRunExperimentQuickSubset(t *testing.T) {
 	}
 }
 
+func TestRunJSONMode(t *testing.T) {
+	out := runCmd(t, "run", "table2", "-json")
+	jsonMode = false // reset the global for other tests
+	var rep struct {
+		ID     string
+		Values map[string]float64
+		Sched  struct{ Cells, Cached int }
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if rep.ID != "table2" || rep.Values["kib.16"] == 0 {
+		t.Errorf("report JSON fields missing:\n%s", out)
+	}
+}
+
+func TestRunColdMode(t *testing.T) {
+	out := runCmd(t, "run", "fig3", "-quick", "-cold", "-workloads", "NAS-IS")
+	coldMode = false // reset the global for other tests
+	if !strings.Contains(out, "mem-dram CPI") {
+		t.Errorf("fig3 -cold output:\n%s", out)
+	}
+}
+
 func TestWorkloadJSON(t *testing.T) {
 	out := runCmd(t, "workload", "NAS-IS", "-quick", "-json", "-measure", "50000")
 	var res map[string]any

@@ -292,6 +292,10 @@ func (c *Core) setReg(r isa.Reg, ready int64, reason stats.StallReason) {
 	c.regReason[r] = reason
 }
 
+// Now returns the core's current commit-cursor cycle; co-simulation
+// drivers use it to keep cores loosely synchronized in simulated time.
+func (c *Core) Now() int64 { return c.cycleOf(c.commitSlot) }
+
 // Cycles returns cycles elapsed in the measurement window.
 func (c *Core) Cycles() int64 { return c.cycleOf(c.commitSlot) - c.startCycle }
 

@@ -1,18 +1,18 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
 // Report is the output of one experiment: printable tables plus named
-// scalar values the tests assert against.
+// scalar values the tests assert against, and the scheduler counters of
+// every grid the experiment ran.
 type Report struct {
 	ID     string
 	Title  string
@@ -20,6 +20,7 @@ type Report struct {
 	Charts []*stats.BarChart
 	Notes  []string
 	Values map[string]float64
+	Sched  SchedStats
 }
 
 func newReport(id, title string) *Report {
@@ -53,6 +54,28 @@ func (r *Report) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// JSON renders the report machine-readably: identity, notes, every named
+// value, the raw tables, and the scheduler counters. Wall time is the
+// only non-deterministic field.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		ID     string
+		Title  string
+		Notes  []string `json:",omitempty"`
+		Values map[string]float64
+		Tables []*stats.Table `json:",omitempty"`
+		Sched  SchedStats
+	}{r.ID, r.Title, r.Notes, r.Values, r.Tables, r.Sched}, "", "  ")
+}
+
+// matrix runs the cell scheduler over the grid and folds its counters
+// into the report.
+func (r *Report) matrix(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet {
+	rs := runMatrix(cfgs, specs, p)
+	r.Sched.add(rs.Stats)
+	return rs
 }
 
 // ExpParams extends the simulation window with an optional workload
@@ -127,43 +150,6 @@ func sweepWorkloads(p ExpParams) []workloads.Spec {
 		}
 		out = append(out, s)
 	}
-	return out
-}
-
-// runMatrix simulates every (config, workload) pair. Each workload is
-// built once and its memory image cloned per configuration (runs mutate
-// memory through stores). Workloads run in parallel — every simulation is
-// self-contained and deterministic, so the results are identical to a
-// serial sweep.
-func runMatrix(cfgs []Config, specs []workloads.Spec, p Params) map[string]map[string]Result {
-	out := make(map[string]map[string]Result, len(cfgs))
-	for _, cfg := range cfgs {
-		out[cfg.Label] = make(map[string]Result, len(specs))
-	}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for _, spec := range specs {
-		spec := spec
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			master := spec.Build(p.Scale)
-			for i, cfg := range cfgs {
-				inst := master
-				if i < len(cfgs)-1 {
-					inst = &workloads.Instance{Name: master.Name, Prog: master.Prog, Mem: master.Mem.Clone()}
-				}
-				res := runInstance(inst, cfg, p)
-				mu.Lock()
-				out[cfg.Label][spec.Name] = res
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
 	return out
 }
 

@@ -48,15 +48,15 @@ func init() {
 func runFig1(p ExpParams) *Report {
 	r := newReport("fig1", "normalized performance and energy")
 	specs := evalSet(p)
-	m := runMatrix(standardConfigs(), specs, p.Params)
-	base := m["in-order"]
+	m := r.matrix(standardConfigs(), specs, p.Params)
+	base := m.Row("in-order")
 
 	t := stats.NewTable("config", "norm-IPC (hmean)", "norm-energy (mean)")
 	perf := stats.NewBarChart("normalized performance (hmean IPC)", "x")
 	enC := stats.NewBarChart("normalized energy (lower is better)", "x")
 	for _, cfg := range standardConfigs() {
-		sp := hmeanSpeedup(base, m[cfg.Label])
-		en := meanNormEnergy(base, m[cfg.Label])
+		sp := hmeanSpeedup(base, m.Row(cfg.Label))
+		en := meanNormEnergy(base, m.Row(cfg.Label))
 		t.AddRowF(cfg.Label, sp, en)
 		perf.Add(cfg.Label, sp)
 		enC.Add(cfg.Label, en)
@@ -73,12 +73,12 @@ func runFig1(p ExpParams) *Report {
 func runFig3(p ExpParams) *Report {
 	r := newReport("fig3", "CPI stacks in-order vs OoO")
 	specs := evalSet(p)
-	m := runMatrix([]Config{MachineConfig(InO), MachineConfig(OoO)}, specs, p.Params)
+	m := r.matrix([]Config{MachineConfig(InO), MachineConfig(OoO)}, specs, p.Params)
 
 	for _, label := range []string{"in-order", "out-of-order"} {
 		dram := map[string]float64{}
 		other := map[string]float64{}
-		for name, res := range m[label] {
+		for name, res := range m.Row(label) {
 			dram[name] = res.Stack.Component(stats.StallMemDRAM)
 			other[name] = res.CPI - dram[name]
 		}
@@ -108,7 +108,7 @@ func runFig11(p ExpParams) *Report {
 	r := newReport("fig11", "CPI per workload")
 	specs := evalSet(p)
 	cfgs := standardConfigs()
-	m := runMatrix(cfgs, specs, p.Params)
+	m := r.matrix(cfgs, specs, p.Params)
 
 	header := []string{"workload"}
 	for _, c := range cfgs {
@@ -118,7 +118,7 @@ func runFig11(p ExpParams) *Report {
 	for _, spec := range specs {
 		cells := make([]float64, 0, len(cfgs))
 		for _, c := range cfgs {
-			cpi := m[c.Label][spec.Name].CPI
+			cpi := m.Row(c.Label)[spec.Name].CPI
 			cells = append(cells, cpi)
 			r.Values[fmt.Sprintf("cpi.%s.%s", c.Label, spec.Name)] = cpi
 		}
@@ -129,7 +129,7 @@ func runFig11(p ExpParams) *Report {
 	for i, c := range cfgs {
 		sum := 0.0
 		for _, spec := range specs {
-			sum += m[c.Label][spec.Name].CPI
+			sum += m.Row(c.Label)[spec.Name].CPI
 		}
 		avg[i] = sum / float64(len(specs))
 		r.Values["cpi."+c.Label+".avg"] = avg[i]
@@ -143,7 +143,7 @@ func runFig12(p ExpParams) *Report {
 	r := newReport("fig12", "energy per instruction")
 	specs := evalSet(p)
 	cfgs := standardConfigs()
-	m := runMatrix(cfgs, specs, p.Params)
+	m := r.matrix(cfgs, specs, p.Params)
 
 	header := []string{"workload"}
 	for _, c := range cfgs {
@@ -153,7 +153,7 @@ func runFig12(p ExpParams) *Report {
 	for _, spec := range specs {
 		cells := make([]float64, 0, len(cfgs))
 		for _, c := range cfgs {
-			nj := m[c.Label][spec.Name].Energy.NJPerInstr
+			nj := m.Row(c.Label)[spec.Name].Energy.NJPerInstr
 			cells = append(cells, nj)
 			r.Values[fmt.Sprintf("energy.%s.%s", c.Label, spec.Name)] = nj
 		}
@@ -163,7 +163,7 @@ func runFig12(p ExpParams) *Report {
 	for i, c := range cfgs {
 		sum := 0.0
 		for _, spec := range specs {
-			sum += m[c.Label][spec.Name].Energy.NJPerInstr
+			sum += m.Row(c.Label)[spec.Name].Energy.NJPerInstr
 		}
 		avg[i] = sum / float64(len(specs))
 		r.Values["energy."+c.Label+".avg"] = avg[i]

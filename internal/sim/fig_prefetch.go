@@ -50,7 +50,7 @@ func runFig13a(p ExpParams) *Report {
 		svrMaxlengthConfig(16), SVRConfig(16),
 		svrMaxlengthConfig(64), SVRConfig(64),
 	}
-	m := runMatrix(cfgs, specs, p.Params)
+	m := r.matrix(cfgs, specs, p.Params)
 
 	header := []string{"group"}
 	for _, c := range cfgs {
@@ -61,7 +61,7 @@ func runFig13a(p ExpParams) *Report {
 	perCfgGroup := map[string]map[string]float64{}
 	for _, c := range cfgs {
 		vals := map[string]float64{}
-		for name, res := range m[c.Label] {
+		for name, res := range m.Row(c.Label) {
 			st := res.PFStats[prefetchOrigin(c.Label)]
 			if st.Used+st.EvictedUnused > 0 {
 				vals[name] = st.Accuracy()
@@ -101,13 +101,13 @@ func runFig13b(p ExpParams) *Report {
 	r := newReport("fig13b", "coverage (DRAM load origins vs baseline)")
 	specs := evalSet(p)
 	cfgs := []Config{MachineConfig(InO), MachineConfig(IMP), SVRConfig(16), SVRConfig(64)}
-	m := runMatrix(cfgs, specs, p.Params)
-	base := m["in-order"]
+	m := r.matrix(cfgs, specs, p.Params)
+	base := m.Row("in-order")
 
 	t := stats.NewTable("config", "core(data)", "core(inst)", "stride-pf", "technique", "total (x baseline)")
 	for _, c := range cfgs {
 		var demand, ifetch, stride, tech, baseTotal float64
-		for name, res := range m[c.Label] {
+		for name, res := range m.Row(c.Label) {
 			b := base[name]
 			bt := float64(b.DRAMLoads[cache.OriginDemand] + b.DRAMLoads[cache.OriginStride] + b.IFetchLoads)
 			if bt == 0 {
@@ -146,8 +146,8 @@ func runFig14(p ExpParams) *Report {
 	} else {
 		specs = workloads.Group("spec")
 	}
-	m := runMatrix([]Config{MachineConfig(InO), SVRConfig(16)}, specs, p.Params)
-	base, s := m["in-order"], m["SVR16"]
+	m := r.matrix([]Config{MachineConfig(InO), SVRConfig(16)}, specs, p.Params)
+	base, s := m.Row("in-order"), m.Row("SVR16")
 
 	t := stats.NewTable("benchmark", "norm IPC (SVR16 / in-order)")
 	var ratios []float64

@@ -35,6 +35,13 @@ func init() {
 	})
 }
 
+// The sweeps below assemble every point of a figure into one flat config
+// list and submit a single matrix, so the scheduler runs the whole sweep
+// cell-parallel instead of one configuration at a time. Points that
+// coincide with the default machines (e.g. the 16-MSHR column, the
+// 50 GiB/s row) hash to the same cells as Fig 1's grid and come straight
+// from the run cache.
+
 var fig15Modes = []svr.LoopBoundMode{
 	svr.LBDWait, svr.Maxlength, svr.LBDMaxlength, svr.LBDCV, svr.EWMAOnly, svr.Tournament,
 }
@@ -43,20 +50,23 @@ func runFig15(p ExpParams) *Report {
 	r := newReport("fig15", "loop-bound prediction mechanisms")
 	specs := sweepWorkloads(p)
 
+	cfgs := []Config{MachineConfig(InO)}
 	for _, n := range []int{16, 64} {
-		cfgs := []Config{MachineConfig(InO)}
 		for _, mode := range fig15Modes {
 			cfg := SVRConfig(n)
 			cfg.SVR.LoopBound = mode
 			cfg.Label = fmt.Sprintf("SVR%d-%s", n, mode)
 			cfgs = append(cfgs, cfg)
 		}
-		m := runMatrix(cfgs, specs, p.Params)
-		base := m["in-order"]
+	}
+	m := r.matrix(cfgs, specs, p.Params)
+	base := m.Row("in-order")
+
+	for _, n := range []int{16, 64} {
 		t := stats.NewTable(fmt.Sprintf("mechanism (SVR-%d)", n), "norm IPC (hmean)")
 		for _, mode := range fig15Modes {
 			label := fmt.Sprintf("SVR%d-%s", n, mode)
-			sp := hmeanSpeedup(base, m[label])
+			sp := hmeanSpeedup(base, m.Row(label))
 			t.AddRowF(mode.String(), sp)
 			r.Values[fmt.Sprintf("svr%d.%s", n, mode)] = sp
 		}
@@ -79,12 +89,12 @@ func runFig16(p ExpParams) *Report {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	m := runMatrix(cfgs, specs, p.Params)
-	base := m["in-order"]
+	m := r.matrix(cfgs, specs, p.Params)
+	base := m.Row("in-order")
 	t := stats.NewTable("scalars/unit", "SVR16 norm IPC", "SVR64 norm IPC")
 	for _, sps := range []int{1, 2, 4, 8} {
-		s16 := hmeanSpeedup(base, m[fmt.Sprintf("SVR16-x%d", sps)])
-		s64 := hmeanSpeedup(base, m[fmt.Sprintf("SVR64-x%d", sps)])
+		s16 := hmeanSpeedup(base, m.Row(fmt.Sprintf("SVR16-x%d", sps)))
+		s64 := hmeanSpeedup(base, m.Row(fmt.Sprintf("SVR64-x%d", sps)))
 		t.AddRowF(fmt.Sprintf("%d", sps), s16, s64)
 		r.Values[fmt.Sprintf("svr16.x%d", sps)] = s16
 		r.Values[fmt.Sprintf("svr64.x%d", sps)] = s64
@@ -100,23 +110,32 @@ func runFig17(p ExpParams) *Report {
 	mshrs := []int{1, 2, 4, 8, 16, 24, 32}
 	ptws := []int{2, 4, 6}
 
-	t := stats.NewTable("MSHRs", "SVR16/ptw2", "SVR16/ptw4", "SVR16/ptw6",
-		"SVR64/ptw2", "SVR64/ptw4", "SVR64/ptw6")
+	var cfgs []Config
 	for _, msh := range mshrs {
 		baseCfg := MachineConfig(InO)
 		baseCfg.Hier.L1MSHRs = msh
-		baseCfg.Label = "in-order"
-		base := runMatrix([]Config{baseCfg}, specs, p.Params)["in-order"]
-
-		cells := make([]float64, 0, 6)
+		baseCfg.Label = fmt.Sprintf("in-order-m%d", msh)
+		cfgs = append(cfgs, baseCfg)
 		for _, n := range []int{16, 64} {
 			for _, ptw := range ptws {
 				cfg := SVRConfig(n)
 				cfg.Hier.L1MSHRs = msh
 				cfg.Hier.NumPTWs = ptw
 				cfg.Label = fmt.Sprintf("SVR%d-m%d-p%d", n, msh, ptw)
-				mm := runMatrix([]Config{cfg}, specs, p.Params)
-				sp := hmeanSpeedup(base, mm[cfg.Label])
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	m := r.matrix(cfgs, specs, p.Params)
+
+	t := stats.NewTable("MSHRs", "SVR16/ptw2", "SVR16/ptw4", "SVR16/ptw6",
+		"SVR64/ptw2", "SVR64/ptw4", "SVR64/ptw6")
+	for _, msh := range mshrs {
+		base := m.Row(fmt.Sprintf("in-order-m%d", msh))
+		cells := make([]float64, 0, 6)
+		for _, n := range []int{16, 64} {
+			for _, ptw := range ptws {
+				sp := hmeanSpeedup(base, m.Row(fmt.Sprintf("SVR%d-m%d-p%d", n, msh, ptw)))
 				cells = append(cells, sp)
 				r.Values[fmt.Sprintf("svr%d.mshr%d.ptw%d", n, msh, ptw)] = sp
 			}
@@ -134,17 +153,29 @@ func runFig17(p ExpParams) *Report {
 func runFig17MSHROnly(p ExpParams) *Report {
 	r := newReport("fig17-mshr", "MSHR sensitivity (PTW=4)")
 	specs := sweepWorkloads(p)
-	t := stats.NewTable("MSHRs", "SVR16", "SVR64")
-	for _, msh := range []int{1, 8, 16, 32} {
+	mshrs := []int{1, 8, 16, 32}
+
+	var cfgs []Config
+	for _, msh := range mshrs {
 		baseCfg := MachineConfig(InO)
 		baseCfg.Hier.L1MSHRs = msh
-		base := runMatrix([]Config{baseCfg}, specs, p.Params)["in-order"]
-		cells := make([]float64, 0, 2)
+		baseCfg.Label = fmt.Sprintf("in-order-m%d", msh)
+		cfgs = append(cfgs, baseCfg)
 		for _, n := range []int{16, 64} {
 			cfg := SVRConfig(n)
 			cfg.Hier.L1MSHRs = msh
 			cfg.Label = fmt.Sprintf("SVR%d-m%d", n, msh)
-			sp := hmeanSpeedup(base, runMatrix([]Config{cfg}, specs, p.Params)[cfg.Label])
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	m := r.matrix(cfgs, specs, p.Params)
+
+	t := stats.NewTable("MSHRs", "SVR16", "SVR64")
+	for _, msh := range mshrs {
+		base := m.Row(fmt.Sprintf("in-order-m%d", msh))
+		cells := make([]float64, 0, 2)
+		for _, n := range []int{16, 64} {
+			sp := hmeanSpeedup(base, m.Row(fmt.Sprintf("SVR%d-m%d", n, msh)))
 			cells = append(cells, sp)
 			r.Values[fmt.Sprintf("svr%d.mshr%d", n, msh)] = sp
 		}
@@ -157,18 +188,29 @@ func runFig17MSHROnly(p ExpParams) *Report {
 func runFig18(p ExpParams) *Report {
 	r := newReport("fig18", "memory bandwidth sensitivity")
 	specs := sweepWorkloads(p)
-	t := stats.NewTable("GiB/s", "SVR16 norm IPC", "SVR64 norm IPC")
-	for _, bw := range []float64{12.5, 25, 50, 100} {
+	bws := []float64{12.5, 25, 50, 100}
+
+	var cfgs []Config
+	for _, bw := range bws {
 		baseCfg := MachineConfig(InO)
 		baseCfg.Hier.DRAM.BandwidthGBps = bw
-		base := runMatrix([]Config{baseCfg}, specs, p.Params)["in-order"]
-		cells := make([]float64, 0, 2)
+		baseCfg.Label = fmt.Sprintf("in-order-bw%g", bw)
+		cfgs = append(cfgs, baseCfg)
 		for _, n := range []int{16, 64} {
 			cfg := SVRConfig(n)
 			cfg.Hier.DRAM.BandwidthGBps = bw
 			cfg.Label = fmt.Sprintf("SVR%d-bw%g", n, bw)
-			mm := runMatrix([]Config{cfg}, specs, p.Params)
-			sp := hmeanSpeedup(base, mm[cfg.Label])
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	m := r.matrix(cfgs, specs, p.Params)
+
+	t := stats.NewTable("GiB/s", "SVR16 norm IPC", "SVR64 norm IPC")
+	for _, bw := range bws {
+		base := m.Row(fmt.Sprintf("in-order-bw%g", bw))
+		cells := make([]float64, 0, 2)
+		for _, n := range []int{16, 64} {
+			sp := hmeanSpeedup(base, m.Row(fmt.Sprintf("SVR%d-bw%g", n, bw)))
 			cells = append(cells, sp)
 			r.Values[fmt.Sprintf("svr%d.bw%g", n, bw)] = sp
 		}
@@ -184,16 +226,14 @@ func runAblations(p ExpParams) *Report {
 	r := newReport("ablations", "§VI-D design-choice ablations")
 	specs := sweepWorkloads(p)
 
-	base := runMatrix([]Config{MachineConfig(InO)}, specs, p.Params)["in-order"]
-	speedupOf := func(cfg Config) float64 {
-		return hmeanSpeedup(base, runMatrix([]Config{cfg}, specs, p.Params)[cfg.Label])
+	// Register every variant first, then run them as one matrix.
+	type variant struct {
+		key, label string
+		cfg        Config
 	}
-
-	t := stats.NewTable("variant", "norm IPC (hmean)")
+	var variants []variant
 	add := func(key, label string, cfg Config) {
-		sp := speedupOf(cfg)
-		t.AddRowF(label, sp)
-		r.Values[key] = sp
+		variants = append(variants, variant{key, label, cfg})
 	}
 
 	add("svr16", "SVR16 (default)", SVRConfig(16))
@@ -233,6 +273,20 @@ func runAblations(p ExpParams) *Report {
 		cfg.SVR.SRFRegs = k
 		cfg.Label = fmt.Sprintf("SVR16-k%d", k)
 		add(fmt.Sprintf("svr16.srf%d", k), fmt.Sprintf("SVR16, %d SRF regs", k), cfg)
+	}
+
+	cfgs := []Config{MachineConfig(InO)}
+	for _, v := range variants {
+		cfgs = append(cfgs, v.cfg)
+	}
+	m := r.matrix(cfgs, specs, p.Params)
+	base := m.Row("in-order")
+
+	t := stats.NewTable("variant", "norm IPC (hmean)")
+	for _, v := range variants {
+		sp := hmeanSpeedup(base, m.Row(v.cfg.Label))
+		t.AddRowF(v.label, sp)
+		r.Values[v.key] = sp
 	}
 
 	r.Tables = append(r.Tables, t)

@@ -25,7 +25,11 @@ func TestTimingModelsPreserveArchitecture(t *testing.T) {
 		t.Run(spec.Name, func(t *testing.T) {
 			for _, cfg := range cfgs {
 				inst := spec.Build(p.Scale)
-				res := runInstance(inst, cfg, p)
+				m, err := NewMachine(cfg, inst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := Simulate(m, p)
 				if res.Instrs == 0 {
 					t.Fatalf("%s: nothing executed", cfg.Label)
 				}

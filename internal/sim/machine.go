@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu/inorder"
+	"repro/internal/cpu/ooo"
+	"repro/internal/dram"
+	"repro/internal/emu"
+	"repro/internal/energy"
+	"repro/internal/imp"
+	"repro/internal/svr"
+	"repro/internal/workloads"
+)
+
+// Machine is one runnable machine organization: a timing model bound to a
+// workload instance, stepped through warmup and measurement windows. The
+// standard lifecycle is construct (NewMachine) → warmup (Step) →
+// ResetStats → measure (Step) → Collect; Simulate drives it. The
+// multi-core driver instead interleaves Step calls on several machines
+// sharing one DRAM channel.
+type Machine interface {
+	// Step executes up to n instructions, returning false if the program
+	// ended before all n issued.
+	Step(n uint64) bool
+	// Instrs returns instructions committed since the last ResetStats.
+	Instrs() uint64
+	// Now returns the current simulated cycle (issue-cursor time), used
+	// to keep co-simulated machines loosely synchronized.
+	Now() int64
+	// ResetStats zeroes measurement state after warmup; microarchitectural
+	// state (predictors, cache contents) is preserved.
+	ResetStats()
+	// Collect assembles the Result of the window since the last ResetStats.
+	Collect() Result
+}
+
+// MachineFactory builds a machine of one kind over a pre-built hierarchy.
+type MachineFactory func(cfg Config, inst *workloads.Instance, h *cache.Hierarchy) Machine
+
+// machineFactories maps core kinds to constructors. New organizations
+// register here instead of growing a switch in the runner.
+var machineFactories = map[CoreKind]MachineFactory{}
+
+// RegisterMachine installs the factory for a core kind.
+func RegisterMachine(kind CoreKind, f MachineFactory) { machineFactories[kind] = f }
+
+func init() {
+	RegisterMachine(InO, newInOrderMachine)
+	RegisterMachine(IMP, newInOrderMachine)
+	RegisterMachine(SVR, newInOrderMachine)
+	RegisterMachine(OoO, newOoOMachine)
+}
+
+// NewMachine builds the configured machine with a private memory
+// hierarchy over the given instance. The instance's memory is mutated by
+// the run; callers reusing an instance must Clone it first.
+func NewMachine(cfg Config, inst *workloads.Instance) (Machine, error) {
+	f, err := factoryFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f(cfg, inst, cache.NewHierarchy(cfg.Hier)), nil
+}
+
+// NewMachineShared builds the configured machine with a private cache
+// hierarchy on a shared DRAM channel (the §VI-E multi-core setup).
+func NewMachineShared(cfg Config, inst *workloads.Instance, ch *dram.Channel) (Machine, error) {
+	f, err := factoryFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f(cfg, inst, cache.NewHierarchyShared(cfg.Hier, ch)), nil
+}
+
+func factoryFor(cfg Config) (MachineFactory, error) {
+	f, ok := machineFactories[cfg.Core]
+	if !ok {
+		return nil, fmt.Errorf("sim: no machine registered for core kind %d", cfg.Core)
+	}
+	return f, nil
+}
+
+// Simulate drives a machine through the standard warmup → reset →
+// measure → collect sequence shared by every experiment.
+func Simulate(m Machine, p Params) Result {
+	m.Step(p.Warmup)
+	m.ResetStats()
+	m.Step(p.Measure)
+	return m.Collect()
+}
+
+// inOrderMachine is the in-order family: the bare baseline core, and the
+// same core with the IMP prefetcher or the SVR engine as its companion.
+type inOrderMachine struct {
+	cfg  Config
+	inst *workloads.Instance
+	h    *cache.Hierarchy
+	cpu  *emu.CPU
+	core *inorder.Core
+	eng  *svr.Engine // non-nil only for SVR
+}
+
+func newInOrderMachine(cfg Config, inst *workloads.Instance, h *cache.Hierarchy) Machine {
+	m := &inOrderMachine{
+		cfg:  cfg,
+		inst: inst,
+		h:    h,
+		cpu:  emu.New(inst.Prog, inst.Mem),
+		core: inorder.New(cfg.InO, h),
+	}
+	switch cfg.Core {
+	case IMP:
+		m.core.Companion = imp.New(cfg.IMP, h, inst.Mem)
+	case SVR:
+		m.eng = svr.New(cfg.SVR, h, m.cpu)
+		m.core.Companion = m.eng
+	}
+	return m
+}
+
+func (m *inOrderMachine) Step(n uint64) bool { return m.core.Run(m.cpu, n) == n }
+func (m *inOrderMachine) Instrs() uint64     { return m.core.Instrs }
+func (m *inOrderMachine) Now() int64         { return m.core.Now() }
+
+func (m *inOrderMachine) ResetStats() {
+	m.core.ResetStats()
+	m.h.ResetStats()
+	if m.eng != nil {
+		m.eng.ResetStats()
+	}
+}
+
+func (m *inOrderMachine) Collect() Result {
+	res := Result{Workload: m.inst.Name, Label: m.cfg.Label}
+	res.fillCommon(m.core.Instrs, m.core.Cycles(), m.core.NormalizedStack(), m.h)
+	res.ExtraSlots = m.core.ExtraSlots
+	var scalars int64
+	if m.eng != nil {
+		res.SVRStats = m.eng.Stats
+		scalars = m.eng.Stats.Scalars
+	}
+	res.Energy = energy.Estimate(energy.DefaultParams(), energy.Activity{
+		Core: energy.InOrder, Cycles: m.core.Cycles(), Instrs: m.core.Instrs,
+		SVRScalars: scalars,
+		L1Accesses: m.h.L1D.Accesses, L2Accesses: m.h.L2.Accesses, DRAMLines: m.h.DRAM.Lines,
+	})
+	return res
+}
+
+// oooMachine is the out-of-order comparison core.
+type oooMachine struct {
+	cfg  Config
+	inst *workloads.Instance
+	h    *cache.Hierarchy
+	cpu  *emu.CPU
+	core *ooo.Core
+}
+
+func newOoOMachine(cfg Config, inst *workloads.Instance, h *cache.Hierarchy) Machine {
+	return &oooMachine{
+		cfg:  cfg,
+		inst: inst,
+		h:    h,
+		cpu:  emu.New(inst.Prog, inst.Mem),
+		core: ooo.New(cfg.OoO, h),
+	}
+}
+
+func (m *oooMachine) Step(n uint64) bool { return m.core.Run(m.cpu, n) == n }
+func (m *oooMachine) Instrs() uint64     { return m.core.Instrs }
+func (m *oooMachine) Now() int64         { return m.core.Now() }
+
+func (m *oooMachine) ResetStats() {
+	m.core.ResetStats()
+	m.h.ResetStats()
+}
+
+func (m *oooMachine) Collect() Result {
+	res := Result{Workload: m.inst.Name, Label: m.cfg.Label}
+	res.fillCommon(m.core.Instrs, m.core.Cycles(), m.core.NormalizedStack(), m.h)
+	res.Energy = energy.Estimate(energy.DefaultParams(), energy.Activity{
+		Core: energy.OutOfOrder, Cycles: m.core.Cycles(), Instrs: m.core.Instrs,
+		L1Accesses: m.h.L1D.Accesses, L2Accesses: m.h.L2.Accesses, DRAMLines: m.h.DRAM.Lines,
+	})
+	return res
+}

@@ -3,12 +3,8 @@ package sim
 import (
 	"fmt"
 
-	"repro/internal/cache"
-	"repro/internal/cpu/inorder"
 	"repro/internal/dram"
-	"repro/internal/emu"
 	"repro/internal/stats"
-	"repro/internal/svr"
 	"repro/internal/workloads"
 )
 
@@ -27,55 +23,37 @@ func init() {
 	})
 }
 
-// mcCore is one core's simulation context.
+// mcCore is one core's simulation context: any Machine stepped in quanta.
 type mcCore struct {
-	cpu  *emu.CPU
-	core *inorder.Core
-	eng  *svr.Engine
+	m    Machine
 	done bool
 }
 
 // runCluster simulates k cores, each running its own workload instance,
 // until every core has executed measure instructions. It returns the
-// per-core IPCs.
+// per-core IPCs. Machines come from the same factory registry as the
+// single-core experiments; only the DRAM channel is shared.
 func runCluster(specs []workloads.Spec, k int, p Params, useSVR bool) []float64 {
 	cfg := SVRConfig(16)
+	if !useSVR {
+		cfg.Core = InO
+	}
 	channel := dram.New(cfg.Hier.DRAM)
 	cores := make([]*mcCore, k)
 	for i := 0; i < k; i++ {
 		spec := specs[i%len(specs)]
-		inst := spec.Build(p.Scale)
-		inst = &workloads.Instance{Name: inst.Name, Prog: inst.Prog, Mem: inst.Mem.Clone()}
-		h := cache.NewHierarchyShared(cfg.Hier, channel)
-		core := inorder.New(cfg.InO, h)
-		cpu := emu.New(inst.Prog, inst.Mem)
-		mc := &mcCore{cpu: cpu, core: core}
-		if useSVR {
-			mc.eng = svr.New(cfg.SVR, h, cpu)
-			core.Companion = mc.eng
+		inst := cloneInstance(spec.Build(p.Scale))
+		m, err := NewMachineShared(cfg, inst, channel)
+		if err != nil {
+			panic(err)
 		}
-		cores[i] = mc
-	}
-
-	step := func(mc *mcCore, n uint64) bool {
-		var rec emu.DynInstr
-		for j := uint64(0); j < n; j++ {
-			if !mc.cpu.Step(&rec) {
-				return false
-			}
-			mc.core.Issue(&rec)
-		}
-		return true
+		cores[i] = &mcCore{m: m}
 	}
 
 	// Warmup each core independently.
 	for _, mc := range cores {
-		step(mc, p.Warmup)
-		mc.core.ResetStats()
-		mc.core.H.ResetStats()
-		if mc.eng != nil {
-			mc.eng.ResetStats()
-		}
+		mc.m.Step(p.Warmup)
+		mc.m.ResetStats()
 	}
 
 	// Measured phase: always step the core that is furthest behind in
@@ -85,25 +63,25 @@ func runCluster(specs []workloads.Spec, k int, p Params, useSVR bool) []float64 
 	for {
 		var next *mcCore
 		for _, mc := range cores {
-			if mc.done || mc.core.Instrs >= p.Measure {
+			if mc.done || mc.m.Instrs() >= p.Measure {
 				mc.done = true
 				continue
 			}
-			if next == nil || mc.core.Now() < next.core.Now() {
+			if next == nil || mc.m.Now() < next.m.Now() {
 				next = mc
 			}
 		}
 		if next == nil {
 			break
 		}
-		if !step(next, quantum) {
+		if !next.m.Step(quantum) {
 			next.done = true
 		}
 	}
 
 	ipcs := make([]float64, k)
 	for i, mc := range cores {
-		ipcs[i] = mc.core.IPC()
+		ipcs[i] = mc.m.Collect().IPC
 	}
 	return ipcs
 }

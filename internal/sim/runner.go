@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/workloads"
+)
+
+// This file is the experiment scheduler: every figure's (config ×
+// workload) grid is flattened into independent cells, run on a
+// GOMAXPROCS-bounded worker pool, and memoized in a process-wide cache.
+// Each simulation is deterministic (fixed seeds, no wall-clock inputs),
+// so a cached cell is bit-identical to a fresh run and `svrsim all` stops
+// re-simulating the standard-configs × evaluation-set grid that Figs 1,
+// 11, 12 and 13 share.
+
+// cellKey identifies one simulation by content: the machine configuration
+// (minus its display label), the workload name, and the window.
+type cellKey [sha256.Size]byte
+
+// hashCell derives the cache key. Config and Params are plain-data
+// structs, so their canonical JSON encoding is a stable content hash; the
+// label is display-only and must not split otherwise-identical cells
+// (sweeps relabel the default configuration all the time).
+func hashCell(cfg Config, workload string, p Params) cellKey {
+	cfg.Label = ""
+	blob, err := json.Marshal(struct {
+		Cfg      Config
+		Workload string
+		P        Params
+	}{cfg, workload, p})
+	if err != nil {
+		panic(fmt.Sprintf("sim: cannot hash cell: %v", err))
+	}
+	return sha256.Sum256(blob)
+}
+
+// runCache memoizes completed cells for the lifetime of the process.
+var runCache = struct {
+	sync.Mutex
+	m            map[cellKey]Result
+	hits, misses int64
+	disabled     bool
+}{m: map[cellKey]Result{}}
+
+func cacheGet(k cellKey) (Result, bool) {
+	runCache.Lock()
+	defer runCache.Unlock()
+	if runCache.disabled {
+		runCache.misses++
+		return Result{}, false
+	}
+	res, ok := runCache.m[k]
+	if ok {
+		runCache.hits++
+	} else {
+		runCache.misses++
+	}
+	return res, ok
+}
+
+func cachePut(k cellKey, res Result) {
+	runCache.Lock()
+	defer runCache.Unlock()
+	if !runCache.disabled {
+		runCache.m[k] = res
+	}
+}
+
+// RunCacheStats returns the process-wide cell cache counters.
+func RunCacheStats() (hits, misses int64) {
+	runCache.Lock()
+	defer runCache.Unlock()
+	return runCache.hits, runCache.misses
+}
+
+// SetRunCacheEnabled toggles the memoized run cache (a cold run
+// re-simulates every cell) and returns the previous setting. Disabling
+// also drops the cached cells.
+func SetRunCacheEnabled(on bool) bool {
+	runCache.Lock()
+	defer runCache.Unlock()
+	prev := !runCache.disabled
+	runCache.disabled = !on
+	if !on {
+		runCache.m = map[cellKey]Result{}
+	}
+	return prev
+}
+
+// ResetRunCache drops every memoized cell and zeroes the counters.
+func ResetRunCache() {
+	runCache.Lock()
+	defer runCache.Unlock()
+	runCache.m = map[cellKey]Result{}
+	runCache.hits, runCache.misses = 0, 0
+}
+
+// CellEvent is delivered to the progress hook after each cell of a
+// scheduler run finishes, whether simulated or served from cache.
+type CellEvent struct {
+	Label    string        // configuration label
+	Workload string        // workload name
+	Cached   bool          // served from the run cache
+	Wall     time.Duration // wall time spent on the cell
+	Done     int           // cells finished in the current matrix
+	Cells    int           // total cells of the current matrix
+}
+
+var progress struct {
+	sync.Mutex
+	hook func(CellEvent)
+}
+
+// SetProgressHook installs fn to observe scheduler progress (nil
+// disables). The hook is invoked sequentially, never concurrently.
+func SetProgressHook(fn func(CellEvent)) {
+	progress.Lock()
+	progress.hook = fn
+	progress.Unlock()
+}
+
+func emitProgress(ev CellEvent) {
+	progress.Lock()
+	defer progress.Unlock()
+	if progress.hook != nil {
+		progress.hook(ev)
+	}
+}
+
+// CellStat is the scheduling record of one grid cell.
+type CellStat struct {
+	Label    string
+	Workload string
+	Cached   bool
+	Wall     time.Duration
+}
+
+// SchedStats aggregates scheduler counters: how many cells an experiment
+// ran, how many the memo served, and the wall time spent.
+type SchedStats struct {
+	Cells  int
+	Cached int
+	Wall   time.Duration
+}
+
+func (s *SchedStats) add(o SchedStats) {
+	s.Cells += o.Cells
+	s.Cached += o.Cached
+	s.Wall += o.Wall
+}
+
+// ResultSet is the typed output of one scheduler invocation: the (config
+// × workload) grid of Results plus per-cell scheduling metadata.
+type ResultSet struct {
+	rows  map[string]map[string]Result
+	Cells []CellStat
+	Stats SchedStats
+}
+
+// Row returns the per-workload results of one configuration label.
+func (rs *ResultSet) Row(label string) map[string]Result { return rs.rows[label] }
+
+// Get returns one cell's result.
+func (rs *ResultSet) Get(label, workload string) (Result, bool) {
+	res, ok := rs.rows[label][workload]
+	return res, ok
+}
+
+// Labels returns the configuration labels of the set, sorted.
+func (rs *ResultSet) Labels() []string {
+	out := make([]string, 0, len(rs.rows))
+	for l := range rs.rows {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// JSON renders the set machine-readably: every cell's full Result record
+// with its scheduling metadata.
+func (rs *ResultSet) JSON() ([]byte, error) {
+	type cellJSON struct {
+		Label    string
+		Workload string
+		Cached   bool
+		WallNS   int64
+		Result   Result
+	}
+	out := struct {
+		Stats SchedStats
+		Cells []cellJSON
+	}{Stats: rs.Stats}
+	for _, c := range rs.Cells {
+		res := rs.rows[c.Label][c.Workload]
+		out.Cells = append(out.Cells, cellJSON{
+			Label: c.Label, Workload: c.Workload,
+			Cached: c.Cached, WallNS: c.Wall.Nanoseconds(), Result: res,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// masterEntry shares one workload build across the cells that need it.
+// The build is lazy — a workload whose every cell hits the cache is never
+// built — and the image is released once its last cell finishes.
+type masterEntry struct {
+	once      sync.Once
+	inst      *workloads.Instance
+	remaining int
+}
+
+func (e *masterEntry) instance(spec workloads.Spec, sc workloads.Scale) *workloads.Instance {
+	e.once.Do(func() { e.inst = spec.Build(sc) })
+	return e.inst
+}
+
+// cloneInstance copies the memory image so a run (which mutates memory
+// through stores) cannot contaminate the shared master build.
+func cloneInstance(master *workloads.Instance) *workloads.Instance {
+	return &workloads.Instance{
+		Name: master.Name, Prog: master.Prog,
+		Mem: master.Mem.Clone(), Check: master.Check,
+	}
+}
+
+// runMatrix simulates every (config, workload) cell of the grid on a
+// GOMAXPROCS-bounded worker pool, front-ended by the run cache. Labels
+// must be unique within one call (they key the result rows). Results are
+// bit-identical to a serial, uncached sweep.
+func runMatrix(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet {
+	start := time.Now()
+	rs := &ResultSet{rows: make(map[string]map[string]Result, len(cfgs))}
+	for _, cfg := range cfgs {
+		rs.rows[cfg.Label] = make(map[string]Result, len(specs))
+	}
+
+	masters := make([]*masterEntry, len(specs))
+	for i := range masters {
+		masters[i] = &masterEntry{remaining: len(cfgs)}
+	}
+
+	// Workload-major cell order: with a bounded pool, only a handful of
+	// masters are in flight at once, so peak memory stays at the level of
+	// the old per-workload-goroutine scheme even for huge grids.
+	type cell struct{ wi, ci int }
+	cells := make([]cell, 0, len(cfgs)*len(specs))
+	for wi := range specs {
+		for ci := range cfgs {
+			cells = append(cells, cell{wi, ci})
+		}
+	}
+
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		done int
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, c := range cells {
+		c := c
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cfg, spec := cfgs[c.ci], specs[c.wi]
+			cellStart := time.Now()
+			key := hashCell(cfg, spec.Name, p)
+			res, cached := cacheGet(key)
+			if !cached {
+				inst := cloneInstance(masters[c.wi].instance(spec, p.Scale))
+				m, err := NewMachine(cfg, inst)
+				if err != nil {
+					panic(err)
+				}
+				res = Simulate(m, p)
+				cachePut(key, res)
+			}
+			// The cached record may carry another sweep's display label.
+			res.Label = cfg.Label
+			wall := time.Since(cellStart)
+
+			mu.Lock()
+			masters[c.wi].remaining--
+			if masters[c.wi].remaining == 0 {
+				masters[c.wi].inst = nil // release the image early
+			}
+			rs.rows[cfg.Label][spec.Name] = res
+			rs.Cells = append(rs.Cells, CellStat{
+				Label: cfg.Label, Workload: spec.Name, Cached: cached, Wall: wall,
+			})
+			rs.Stats.Cells++
+			if cached {
+				rs.Stats.Cached++
+			}
+			done++
+			ev := CellEvent{Label: cfg.Label, Workload: spec.Name, Cached: cached,
+				Wall: wall, Done: done, Cells: len(cells)}
+			mu.Unlock()
+			emitProgress(ev)
+		}()
+	}
+	wg.Wait()
+	rs.Stats.Wall = time.Since(start)
+	sort.Slice(rs.Cells, func(i, j int) bool {
+		if rs.Cells[i].Workload != rs.Cells[j].Workload {
+			return rs.Cells[i].Workload < rs.Cells[j].Workload
+		}
+		return rs.Cells[i].Label < rs.Cells[j].Label
+	})
+	return rs
+}

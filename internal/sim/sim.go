@@ -11,7 +11,6 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu/inorder"
 	"repro/internal/cpu/ooo"
-	"repro/internal/emu"
 	"repro/internal/energy"
 	"repro/internal/imp"
 	"repro/internal/stats"
@@ -125,63 +124,17 @@ type Result struct {
 	ExtraSlots int64
 }
 
-// Run simulates one workload on one machine.
+// Run simulates one workload on one machine. It builds a fresh instance
+// and always executes — the memoized run cache only fronts the experiment
+// scheduler (runMatrix), so callers that depend on real execution (e.g.
+// architectural self-checks on the mutated memory image) stay exact.
+// It panics if cfg names a core kind with no registered Machine.
 func Run(spec workloads.Spec, cfg Config, p Params) Result {
-	return runInstance(spec.Build(p.Scale), cfg, p)
-}
-
-// runInstance simulates a pre-built instance. The instance's memory is
-// mutated by the run; callers reusing an instance must Clone it first.
-func runInstance(inst *workloads.Instance, cfg Config, p Params) Result {
-	h := cache.NewHierarchy(cfg.Hier)
-	cpu := emu.New(inst.Prog, inst.Mem)
-
-	res := Result{Workload: inst.Name, Label: cfg.Label}
-
-	switch cfg.Core {
-	case OoO:
-		core := ooo.New(cfg.OoO, h)
-		core.Run(cpu, p.Warmup)
-		core.ResetStats()
-		h.ResetStats()
-		core.Run(cpu, p.Measure)
-		res.fillCommon(core.Instrs, core.Cycles(), core.NormalizedStack(), h)
-		res.Energy = energy.Estimate(energy.DefaultParams(), energy.Activity{
-			Core: energy.OutOfOrder, Cycles: core.Cycles(), Instrs: core.Instrs,
-			L1Accesses: h.L1D.Accesses, L2Accesses: h.L2.Accesses, DRAMLines: h.DRAM.Lines,
-		})
-		return res
-	default:
-		core := inorder.New(cfg.InO, h)
-		var eng *svr.Engine
-		switch cfg.Core {
-		case IMP:
-			core.Companion = imp.New(cfg.IMP, h, inst.Mem)
-		case SVR:
-			eng = svr.New(cfg.SVR, h, cpu)
-			core.Companion = eng
-		}
-		core.Run(cpu, p.Warmup)
-		core.ResetStats()
-		h.ResetStats()
-		if eng != nil {
-			eng.ResetStats()
-		}
-		core.Run(cpu, p.Measure)
-		res.fillCommon(core.Instrs, core.Cycles(), core.NormalizedStack(), h)
-		res.ExtraSlots = core.ExtraSlots
-		var scalars int64
-		if eng != nil {
-			res.SVRStats = eng.Stats
-			scalars = eng.Stats.Scalars
-		}
-		res.Energy = energy.Estimate(energy.DefaultParams(), energy.Activity{
-			Core: energy.InOrder, Cycles: core.Cycles(), Instrs: core.Instrs,
-			SVRScalars: scalars,
-			L1Accesses: h.L1D.Accesses, L2Accesses: h.L2.Accesses, DRAMLines: h.DRAM.Lines,
-		})
-		return res
+	m, err := NewMachine(cfg, spec.Build(p.Scale))
+	if err != nil {
+		panic(err)
 	}
+	return Simulate(m, p)
 }
 
 func (r *Result) fillCommon(instrs uint64, cycles int64, stack stats.CPIStack, h *cache.Hierarchy) {
