@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench evaluate fuzz vet fmt cover
+.PHONY: all test race bench evaluate metrics fuzz vet fmt cover
 
 all: vet test
 
@@ -15,9 +15,17 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate every table and figure at full scale into results_full.txt.
+# Regenerate every table and figure at full scale into results_full.txt,
+# and the same cells machine-readably (per-cell registry snapshots) into
+# results_metrics.json.
 evaluate:
 	$(GO) run ./cmd/svrsim all | tee results_full.txt
+	$(GO) run ./cmd/svrsim all -metrics > results_metrics.json
+
+# Quick-scale headline figure with the full per-cell metric snapshots
+# (counters + latency histograms) as JSON on stdout.
+metrics:
+	$(GO) run ./cmd/svrsim run fig1 -quick -metrics
 
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/isa/

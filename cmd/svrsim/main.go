@@ -22,6 +22,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu/inorder"
 	"repro/internal/emu"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/svr"
@@ -61,6 +62,8 @@ func dispatch(w io.Writer, cmd string, args []string) error {
 		return cmdAll(w, args)
 	case "workload":
 		return cmdWorkload(w, args)
+	case "metrics":
+		return cmdMetrics(w, args)
 	case "disasm":
 		return cmdDisasm(w, args)
 	case "trace":
@@ -81,6 +84,7 @@ func usage() {
   svrsim run <experiment> [flags]  regenerate one table/figure
   svrsim all [flags]               regenerate every experiment
   svrsim workload <name> [flags]   simulate one workload in detail
+  svrsim metrics <name> [flags]    full metric registry of one run
   svrsim disasm <workload>         print a kernel's assembly
   svrsim trace <workload> [flags]  dump pipeline + runahead events
   svrsim compare <workload>        one workload on every machine, side by side
@@ -89,10 +93,17 @@ run/all flags:
   -quick             small inputs and short windows
   -csv               emit tables as CSV for plotting
   -json              emit reports as JSON (values, tables, scheduler counters)
+  -metrics           emit reports as JSON with every cell's metric snapshot
   -cold              disable the memoized run cache (re-simulate every cell)
   -workloads a,b,c   restrict to named workloads
   -measure N         measured instructions per run
   -warmup N          warmup instructions per run
+
+metrics flags:
+  -core K            machine: inorder, imp, ooo, svr (default svr)
+  -n N               SVR vector length (default 16)
+  -format F          output: table, prom (Prometheus text), json
+  -quick / -warmup / -measure as above
 `)
 }
 
@@ -100,6 +111,7 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	csvF := fs.Bool("csv", false, "emit tables as CSV")
 	jsonF := fs.Bool("json", false, "emit reports as JSON")
+	metricsF := fs.Bool("metrics", false, "emit reports as JSON with per-cell metric snapshots")
 	coldF := fs.Bool("cold", false, "disable the memoized run cache")
 	quickF := fs.Bool("quick", false, "small inputs, short windows")
 	wls := fs.String("workloads", "", "comma-separated workload filter")
@@ -122,14 +134,16 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 		p.Workloads = strings.Split(*wls, ",")
 	}
 	csvMode = *csvF
-	jsonMode = *jsonF
+	jsonMode = *jsonF || *metricsF // -metrics is JSON output with snapshots
+	metricsMode = *metricsF
 	coldMode = *coldF
 	return p, fs.Args(), nil
 }
 
-// csvMode / jsonMode switch run/all output format; coldMode disables the
-// run cache (all set by expFlags).
-var csvMode, jsonMode, coldMode bool
+// csvMode / jsonMode switch run/all output format; metricsMode adds
+// per-cell metric snapshots to the JSON; coldMode disables the run cache
+// (all set by expFlags).
+var csvMode, jsonMode, metricsMode, coldMode bool
 
 func printReport(w io.Writer, r *sim.Report) error {
 	if jsonMode {
@@ -175,9 +189,11 @@ func applyRunFlags(curExp *string) func() {
 	if coldMode {
 		prevCache = sim.SetRunCacheEnabled(false)
 	}
+	prevMetrics := sim.SetCellMetrics(metricsMode)
 	sim.SetProgressHook(progressPrinter(curExp))
 	return func() {
 		sim.SetProgressHook(nil)
+		sim.SetCellMetrics(prevMetrics)
 		if coldMode {
 			sim.SetRunCacheEnabled(prevCache)
 		}
@@ -278,18 +294,9 @@ func cmdWorkload(w io.Writer, args []string) error {
 		p.Measure = *measure
 	}
 
-	var cfg sim.Config
-	switch *coreF {
-	case "inorder":
-		cfg = sim.MachineConfig(sim.InO)
-	case "imp":
-		cfg = sim.MachineConfig(sim.IMP)
-	case "ooo":
-		cfg = sim.MachineConfig(sim.OoO)
-	case "svr":
-		cfg = sim.SVRConfig(*n)
-	default:
-		return fmt.Errorf("unknown core %q", *coreF)
+	cfg, err := coreConfig(*coreF, *n)
+	if err != nil {
+		return err
 	}
 
 	res, err := sim.RunByName(name, cfg, p)
@@ -323,6 +330,79 @@ func cmdWorkload(w io.Writer, args []string) error {
 		pf := res.PFStats[cache.OriginIMP]
 		fmt.Fprintf(w, "prefetch   issued=%d used=%d evicted-unused=%d accuracy=%.1f%%\n",
 			pf.Issued, pf.Used, pf.EvictedUnused, pf.Accuracy()*100)
+	}
+	return nil
+}
+
+// coreConfig resolves the -core/-n flag pair shared by the workload and
+// metrics subcommands.
+func coreConfig(core string, n int) (sim.Config, error) {
+	switch core {
+	case "inorder":
+		return sim.MachineConfig(sim.InO), nil
+	case "imp":
+		return sim.MachineConfig(sim.IMP), nil
+	case "ooo":
+		return sim.MachineConfig(sim.OoO), nil
+	case "svr":
+		return sim.SVRConfig(n), nil
+	}
+	return sim.Config{}, fmt.Errorf("unknown core %q", core)
+}
+
+// cmdMetrics runs one workload on one machine and dumps the machine's
+// full metric registry — every counter and latency histogram — in the
+// requested format.
+func cmdMetrics(w io.Writer, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("metrics: missing workload name")
+	}
+	name := args[0]
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	coreF := fs.String("core", "svr", "core: inorder, imp, ooo, svr")
+	n := fs.Int("n", 16, "SVR vector length")
+	quickF := fs.Bool("quick", false, "small inputs")
+	formatF := fs.String("format", "table", "output format: table, prom, json")
+	measure := fs.Uint64("measure", 0, "measured instructions")
+	warmup := fs.Uint64("warmup", 0, "warmup instructions")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	p := sim.DefaultParams()
+	if *quickF {
+		p = sim.QuickParams()
+	}
+	if *measure > 0 {
+		p.Measure = *measure
+	}
+	if *warmup > 0 {
+		p.Warmup = *warmup
+	}
+	cfg, err := coreConfig(*coreF, *n)
+	if err != nil {
+		return err
+	}
+	res, err := sim.RunByName(name, cfg, p)
+	if err != nil {
+		return err
+	}
+	switch *formatF {
+	case "table":
+		fmt.Fprintf(w, "metrics for %s on %s (%d instrs, %d cycles)\n",
+			res.Workload, res.Label, res.Instrs, res.Cycles)
+		res.Metrics.WriteTable(w)
+	case "prom":
+		res.Metrics.WritePrometheus(w)
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Workload string
+			Label    string
+			Metrics  metrics.Snapshot
+		}{res.Workload, res.Label, res.Metrics})
+	default:
+		return fmt.Errorf("unknown format %q (want table, prom, json)", *formatF)
 	}
 	return nil
 }

@@ -2,8 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/sim"
 )
 
 func runCmd(t *testing.T, cmd string, args ...string) string {
@@ -137,5 +142,91 @@ func TestWorkloadJSON(t *testing.T) {
 	}
 	if res["Workload"] != "NAS-IS" || res["CPI"] == nil {
 		t.Errorf("JSON fields missing: %v", res)
+	}
+}
+
+// TestMetricsCommandJSONRoundTrip is the acceptance check for the
+// machine-readable export path: `svrsim metrics -format json` must
+// round-trip the cache miss counters, the per-origin DRAM load counters,
+// and the demand-load latency histogram exactly as an in-process run
+// reports them — for one GAP and one HPC-DB workload.
+func TestMetricsCommandJSONRoundTrip(t *testing.T) {
+	for _, wl := range []string{"BFS_KR", "NAS-IS"} {
+		out := runCmd(t, "metrics", wl, "-quick", "-measure", "100000", "-format", "json")
+		var got struct {
+			Workload string
+			Label    string
+			Metrics  metrics.Snapshot
+		}
+		if err := json.Unmarshal([]byte(out), &got); err != nil {
+			t.Fatalf("%s: invalid JSON: %v\n%s", wl, err, out)
+		}
+		if got.Workload != wl {
+			t.Fatalf("workload = %q, want %q", got.Workload, wl)
+		}
+		// Same machine, same window, run in-process: deterministic timing
+		// means every counter must match bit-for-bit.
+		p := sim.QuickParams()
+		p.Measure = 100_000
+		res, err := sim.RunByName(wl, sim.SVRConfig(16), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"l1d.accesses", "l1d.misses", "l2.accesses", "l2.misses"} {
+			if got.Metrics.Counters[name] == 0 {
+				t.Errorf("%s: counter %s = 0", wl, name)
+			}
+			if g, w := got.Metrics.Counters[name], res.Metrics.Counters[name]; g != w {
+				t.Errorf("%s: %s = %d over JSON, %d in-process", wl, name, g, w)
+			}
+		}
+		for o := cache.Origin(0); o < cache.NumOrigins; o++ {
+			name := "dram.loads." + o.String()
+			if g, w := got.Metrics.Counters[name], res.DRAMLoads[o]; g != w {
+				t.Errorf("%s: %s = %d over JSON, Result.DRAMLoads = %d", wl, name, g, w)
+			}
+		}
+		hist, ok := got.Metrics.Histograms["lat.demand.mem"]
+		if !ok || hist.Count == 0 {
+			t.Fatalf("%s: lat.demand.mem histogram missing or empty", wl)
+		}
+		want := res.Metrics.Histograms["lat.demand.mem"]
+		if hist.Count != want.Count || hist.Sum != want.Sum ||
+			!reflect.DeepEqual(hist.Buckets, want.Buckets) {
+			t.Errorf("%s: lat.demand.mem mismatch: JSON {n=%d sum=%d}, in-process {n=%d sum=%d}",
+				wl, hist.Count, hist.Sum, want.Count, want.Sum)
+		}
+		if hist.Mean() < 50 {
+			t.Errorf("%s: mean DRAM-serviced demand latency = %.1f, want DRAM-class", wl, hist.Mean())
+		}
+	}
+}
+
+// TestRunMetricsFlag checks the experiment path: `run -metrics` emits the
+// report as JSON with one registry snapshot per scheduler cell.
+func TestRunMetricsFlag(t *testing.T) {
+	out := runCmd(t, "run", "fig3", "-quick", "-metrics", "-workloads", "NAS-IS")
+	jsonMode, metricsMode = false, false // reset globals for other tests
+	var rep struct {
+		ID          string
+		CellMetrics []struct {
+			Label    string
+			Workload string
+			Metrics  metrics.Snapshot
+		}
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if rep.ID != "fig3" || len(rep.CellMetrics) == 0 {
+		t.Fatalf("report has no cell metrics:\n%.400s", out)
+	}
+	for _, c := range rep.CellMetrics {
+		if c.Metrics.Counters["l1d.misses"] == 0 {
+			t.Errorf("cell %s/%s: l1d.misses = 0", c.Label, c.Workload)
+		}
+		if c.Metrics.Histograms["lat.demand.mem"].Count == 0 {
+			t.Errorf("cell %s/%s: empty lat.demand.mem histogram", c.Label, c.Workload)
+		}
 	}
 }

@@ -10,7 +10,11 @@
 // (Fig 18) — without a discrete-event queue.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
 
 // Origin identifies who caused a memory request; used for the DRAM-origin
 // breakdown of Fig 13b and for prefetch-accuracy accounting (Fig 13a).
@@ -68,6 +72,18 @@ type Cache struct {
 	Accesses        int64
 	Misses          int64
 	MSHRStallCycles int64
+
+	mshrStall *metrics.Histogram // per-acquire stall distribution, if registered
+}
+
+// Register publishes the cache's counters under the given metric prefix
+// (e.g. "l1d" → "l1d.accesses"). The fields stay plain — hot paths and
+// existing readers are untouched — while the registry gains reset and
+// export authority over them.
+func (c *Cache) Register(r *metrics.Registry, prefix string) {
+	r.Int64(prefix+".accesses", c.Name+" lookups", &c.Accesses)
+	r.Int64(prefix+".misses", c.Name+" lookup misses", &c.Misses)
+	r.Int64(prefix+".mshr_stall_cycles", c.Name+" cycles stalled waiting for a free MSHR", &c.MSHRStallCycles)
 }
 
 type mshrEntry struct {
@@ -232,6 +248,9 @@ func (c *Cache) MSHRAcquire(addr uint64, at int64) (start int64, idx int) {
 		c.MSHRStallCycles += earliest - start
 		start = earliest
 		c.pruneMSHRs(start)
+	}
+	if start > at && c.mshrStall != nil {
+		c.mshrStall.Observe(start - at)
 	}
 	c.mshrs = append(c.mshrs, mshrEntry{lineAddr: addr &^ (LineSize - 1), readyAt: int64(1) << 62})
 	return start, len(c.mshrs) - 1

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"repro/internal/dram"
+	"repro/internal/metrics"
 )
 
 // Level identifies where an access was satisfied.
@@ -84,6 +85,12 @@ type Hierarchy struct {
 	Stride  *StridePrefetcher
 	Tracker *Tracker
 
+	// Reg is the machine-wide metrics registry. Every component of the
+	// hierarchy registers its counters here at construction, and the core
+	// (plus any companion engine) joins at its own construction, so one
+	// Reg.Reset() is the whole warmup/measure boundary.
+	Reg *metrics.Registry
+
 	// DRAMLoads counts data-side line fetches from DRAM by origin
 	// (Fig 13b).
 	DRAMLoads [NumOrigins]int64
@@ -92,6 +99,8 @@ type Hierarchy struct {
 	IFetchLoads int64
 	// Writebacks counts dirty-line writebacks to DRAM.
 	Writebacks int64
+
+	demandLat [3]*metrics.Histogram // demand-load completion latency per service level
 
 	lastILine uint64 // last fetched instruction line (fetch-ahead state)
 	pfBuf     []uint64
@@ -120,6 +129,31 @@ func NewHierarchyShared(cfg Config, ch *dram.Channel) *Hierarchy {
 	}
 	if cfg.StrideDegree > 0 {
 		h.Stride = NewStridePrefetcher(64, cfg.StrideDegree)
+	}
+
+	r := metrics.New()
+	h.Reg = r
+	h.L1D.Register(r, "l1d")
+	h.L1I.Register(r, "l1i")
+	h.L2.Register(r, "l2")
+	h.DTLB.Register(r, "dtlb")
+	h.ITLB.Register(r, "itlb")
+	h.STLB.Register(r, "stlb")
+	h.Walkers.Register(r)
+	ch.Register(r)
+	h.Tracker.Register(r)
+	for o := Origin(0); o < NumOrigins; o++ {
+		r.Int64("dram.loads."+o.String(), "data-side DRAM line fetches caused by "+o.String(), &h.DRAMLoads[o])
+	}
+	r.Int64("dram.loads.inst", "instruction-side DRAM line fetches", &h.IFetchLoads)
+	r.Int64("dram.writebacks", "dirty-line writebacks to DRAM", &h.Writebacks)
+	if h.Stride != nil {
+		r.Int64("stride.issued", "lines requested by the L1-D stride prefetcher", &h.Stride.Issued)
+	}
+	h.L1D.mshrStall = r.NewHistogram("lat.l1d.mshr_stall", "per-acquire L1-D MSHR stall (cycles, stalled acquires only)")
+	for lvl, name := range [3]string{"l1", "l2", "mem"} {
+		h.demandLat[lvl] = r.NewHistogram("lat.demand."+name,
+			"demand-load completion latency for loads served from "+Level(lvl).String()+" (cycles)")
 	}
 	return h
 }
@@ -197,6 +231,11 @@ func (h *Hierarchy) Access(pc int, addr uint64, write bool, at int64) Result {
 	h.Tracker.Touch(addr)
 
 	res := h.demandAccess(addr, write, t)
+	if !write {
+		if hl := h.demandLat[res.Level]; hl != nil {
+			hl.Observe(res.CompleteAt - at)
+		}
+	}
 
 	if h.Stride != nil && !write {
 		h.pfBuf = h.pfBuf[:0]
@@ -213,13 +252,13 @@ func (h *Hierarchy) demandAccess(addr uint64, write bool, t int64) Result {
 	ready, inflight := h.L1D.MSHRLookup(addr, t)
 	if hit, _ := h.L1D.Lookup(addr, write, true); hit {
 		if inflight {
-			return Result{CompleteAt: maxI64(ready, t+h.Cfg.L1Latency), Level: LevelMem}
+			return Result{CompleteAt: max(ready, t+h.Cfg.L1Latency), Level: LevelMem}
 		}
 		return Result{CompleteAt: t + h.Cfg.L1Latency, Level: LevelL1}
 	}
 	if inflight {
 		// Secondary miss: merge with the in-flight fill.
-		return Result{CompleteAt: maxI64(ready, t+h.Cfg.L1Latency), Level: LevelMem}
+		return Result{CompleteAt: max(ready, t+h.Cfg.L1Latency), Level: LevelMem}
 	}
 	return h.fetchLine(addr, write, t, OriginDemand, true)
 }
@@ -236,7 +275,7 @@ func (h *Hierarchy) Prefetch(addr uint64, at int64, origin Origin) Result {
 		// touches count for accuracy.
 		h.L1D.Lookup(addr, false, false)
 		if inflight {
-			return Result{CompleteAt: maxI64(ready, t+h.Cfg.L1Latency), Level: LevelMem}
+			return Result{CompleteAt: max(ready, t+h.Cfg.L1Latency), Level: LevelMem}
 		}
 		return Result{CompleteAt: t + h.Cfg.L1Latency, Level: LevelL1}
 	}
@@ -288,25 +327,6 @@ func (h *Hierarchy) FetchInstr(addr uint64, at int64) (bubble int64) {
 	return fill - at
 }
 
-// ResetStats clears event counters (after cache warmup) while preserving
-// cache, TLB and tracker contents.
-func (h *Hierarchy) ResetStats() {
-	h.L1D.Accesses, h.L1D.Misses, h.L1D.MSHRStallCycles = 0, 0, 0
-	h.L1I.Accesses, h.L1I.Misses = 0, 0
-	h.L2.Accesses, h.L2.Misses = 0, 0
-	h.DTLB.Accesses, h.DTLB.Misses = 0, 0
-	h.STLB.Accesses, h.STLB.Misses = 0, 0
-	h.Walkers.Walks, h.Walkers.StallCycles = 0, 0
-	h.DRAM.Lines, h.DRAM.BusyCycles = 0, 0
-	h.DRAMLoads = [NumOrigins]int64{}
-	h.IFetchLoads = 0
-	h.Writebacks = 0
-	h.Tracker.ResetStats()
-	if h.Stride != nil {
-		h.Stride.Issued = 0
-	}
-}
-
 // TotalDRAMLoads sums line fetches across origins, including the
 // instruction side.
 func (h *Hierarchy) TotalDRAMLoads() int64 {
@@ -315,11 +335,4 @@ func (h *Hierarchy) TotalDRAMLoads() int64 {
 		n += v
 	}
 	return n
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

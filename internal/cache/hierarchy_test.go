@@ -177,11 +177,75 @@ func TestHierarchyStridePrefetcherCovers(t *testing.T) {
 	}
 }
 
+func TestFetchInstrColdJumpStalls(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	// A discontinuous cold fetch (nothing in L1-I, jump target) pays the
+	// ITLB walk plus the full fill from DRAM.
+	bubble := h.FetchInstr(0x100000, 0)
+	if bubble < h.Cfg.L1Latency+h.Cfg.L2Latency+h.Cfg.WalkLatency {
+		t.Errorf("cold-jump fetch bubble = %d, want a DRAM-class stall", bubble)
+	}
+	if h.L1I.Misses != 1 {
+		t.Errorf("L1I misses = %d, want 1", h.L1I.Misses)
+	}
+	// Refetching the same line hits and costs nothing.
+	if b := h.FetchInstr(0x100000, 1000); b != 0 {
+		t.Errorf("refetch of resident line bubble = %d, want 0", b)
+	}
+}
+
+func TestFetchInstrSequentialFetchAheadHidesMiss(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	h.FetchInstr(0x100000, 0)    // cold: fills line and next line
+	h.FetchInstr(0x100040, 1000) // next-line prefetch hit, advances lastILine
+	missesBefore := h.L1I.Misses
+	// Straight-line execution into an absent line: the fetch queue
+	// requested it ahead of time, so the miss must not stall the front end.
+	if b := h.FetchInstr(0x100080, 2000); b != 0 {
+		t.Errorf("sequential miss bubble = %d, want 0 (hidden by fetch-ahead)", b)
+	}
+	if h.L1I.Misses != missesBefore+1 {
+		t.Errorf("L1I misses = %d, want %d (fetch-ahead still misses)", h.L1I.Misses, missesBefore+1)
+	}
+	// The same line fetched after a jump (non-sequential) would have
+	// stalled: verify on a fresh hierarchy with a primed TLB.
+	h2 := NewHierarchy(testConfig())
+	h2.FetchInstr(0x100000, 0)
+	if b := h2.FetchInstr(0x100080, 2000); b == 0 {
+		t.Error("discontinuous miss bubble = 0, want a stall")
+	}
+}
+
+func TestFetchInstrDRAMFillsCountAsInstLoads(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	h.FetchInstr(0x100000, 0)
+	if h.IFetchLoads != 1 {
+		t.Errorf("IFetchLoads = %d, want 1", h.IFetchLoads)
+	}
+	for o, n := range h.DRAMLoads {
+		if n != 0 {
+			t.Errorf("data-side DRAMLoads[%v] = %d, want 0 for an I-side fetch", Origin(o), n)
+		}
+	}
+	// The counter is registered as the Fig 13b "Core(inst)" category.
+	if got := h.Reg.Snapshot().Counters["dram.loads.inst"]; got != 1 {
+		t.Errorf("snapshot dram.loads.inst = %d, want 1", got)
+	}
+	// An I-fetch whose line already sits in the (unified) L2 — here
+	// brought in by the data side — must not touch DRAM.
+	h2 := NewHierarchy(testConfig())
+	h2.Access(1, 0x200000, false, 0)
+	h2.FetchInstr(0x200000, 5000)
+	if h2.IFetchLoads != 0 {
+		t.Errorf("L2-resident I-fetch went to DRAM: IFetchLoads = %d", h2.IFetchLoads)
+	}
+}
+
 func TestHierarchyResetStats(t *testing.T) {
 	h := NewHierarchy(testConfig())
 	h.Access(1, 0x100000, false, 0)
 	h.Prefetch(0x200000, 0, OriginSVR)
-	h.ResetStats()
+	h.Reg.Reset()
 	if h.TotalDRAMLoads() != 0 || h.L1D.Accesses != 0 || h.Writebacks != 0 {
 		t.Error("stats not cleared")
 	}

@@ -1,5 +1,7 @@
 package cache
 
+import "repro/internal/metrics"
+
 // PageBits is log2 of the architectural page size (4 KiB).
 const PageBits = 12
 
@@ -14,6 +16,12 @@ type TLB struct {
 
 	Accesses int64
 	Misses   int64
+}
+
+// Register publishes the TLB's counters under the given metric prefix.
+func (t *TLB) Register(r *metrics.Registry, prefix string) {
+	r.Int64(prefix+".accesses", t.Name+" lookups", &t.Accesses)
+	r.Int64(prefix+".misses", t.Name+" lookup misses", &t.Misses)
 }
 
 type tlbEntry struct {
@@ -82,11 +90,21 @@ type WalkerPool struct {
 
 	Walks       int64
 	StallCycles int64
+
+	walkLat *metrics.Histogram // request-to-done walk latency, if registered
 }
 
 // NewWalkerPool creates a pool of n walkers with the given walk latency.
 func NewWalkerPool(n int, walkLatency int64) *WalkerPool {
 	return &WalkerPool{freeAt: make([]int64, n), WalkLatency: walkLatency}
+}
+
+// Register publishes the pool's counters and the end-to-end walk latency
+// histogram (walker-grant stall + walk itself).
+func (w *WalkerPool) Register(r *metrics.Registry) {
+	r.Int64("ptw.walks", "page-table walks started", &w.Walks)
+	r.Int64("ptw.stall_cycles", "cycles walks waited for a free walker", &w.StallCycles)
+	w.walkLat = r.NewHistogram("lat.ptw", "page-table walk latency from request to translation (cycles)")
 }
 
 // Walk starts a page walk no earlier than cycle at and returns the cycle
@@ -106,5 +124,8 @@ func (w *WalkerPool) Walk(at int64) int64 {
 	}
 	done := start + w.WalkLatency
 	w.freeAt[best] = done
+	if w.walkLat != nil {
+		w.walkLat.Observe(done - at)
+	}
 	return done
 }

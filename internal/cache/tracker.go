@@ -1,5 +1,7 @@
 package cache
 
+import "repro/internal/metrics"
+
 // PFStats aggregates prefetch effectiveness for one origin.
 type PFStats struct {
 	Issued        int64 // prefetches that fetched a line from DRAM
@@ -62,5 +64,18 @@ func (t *Tracker) Evict(addr uint64) {
 // Pending returns the number of outstanding unused prefetched lines.
 func (t *Tracker) Pending() int { return len(t.tags) }
 
-// ResetStats zeroes the counters but keeps the outstanding tags.
-func (t *Tracker) ResetStats() { t.Stats = [NumOrigins]PFStats{} }
+// Register publishes per-origin prefetch-accuracy counters
+// ("pf.<origin>.*") and a gauge of outstanding unused prefetched lines.
+// Registry.Reset zeroes the counters but keeps the outstanding tags, the
+// same windowing the old ResetStats provided.
+func (t *Tracker) Register(r *metrics.Registry) {
+	for o := Origin(0); o < NumOrigins; o++ {
+		s := &t.Stats[o]
+		name := o.String()
+		r.Int64("pf."+name+".issued", name+" prefetches that fetched a line from DRAM", &s.Issued)
+		r.Int64("pf."+name+".used", name+"-prefetched lines demand-touched before LLC eviction", &s.Used)
+		r.Int64("pf."+name+".evicted_unused", name+"-prefetched lines evicted from the LLC untouched", &s.EvictedUnused)
+	}
+	r.GaugeFunc("pf.pending", "outstanding prefetched lines not yet demand-touched",
+		func() int64 { return int64(len(t.tags)) })
+}

@@ -261,7 +261,7 @@ func TestResetStatsWindows(t *testing.T) {
 	core := newCore()
 	cpu := emu.New(b.Build(), mem.New())
 	core.Run(cpu, 50)
-	core.ResetStats()
+	core.H.Reg.Reset()
 	if core.Instrs != 0 || core.Cycles() != 0 {
 		t.Fatalf("stats not reset: %d instrs %d cycles", core.Instrs, core.Cycles())
 	}

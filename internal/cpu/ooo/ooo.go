@@ -76,15 +76,32 @@ type Core struct {
 	LoadsByLvl [3]uint64
 }
 
-// New builds a core over the given memory hierarchy.
+// New builds a core over the given memory hierarchy and registers its
+// statistics with the hierarchy's metrics registry; non-counter window
+// state (CPI stack, window start cycle) re-baselines via an OnReset hook.
 func New(cfg Config, h *cache.Hierarchy) *Core {
-	return &Core{
+	c := &Core{
 		Cfg:         cfg,
 		H:           h,
 		BP:          bpred.New(cfg.BPredTableBits),
 		memPortFree: make([]int64, cfg.MemPorts),
 		storeReady:  make(map[uint64]int64),
 	}
+	r := h.Reg
+	r.Uint64("core.instrs", "instructions committed", &c.Instrs)
+	r.Uint64("core.loads", "loads issued", &c.Loads)
+	r.Uint64("core.stores", "stores issued", &c.Stores)
+	r.Uint64("core.branches", "conditional branches issued", &c.Branches)
+	r.Uint64("core.loads.l1", "loads served from L1", &c.LoadsByLvl[cache.LevelL1])
+	r.Uint64("core.loads.l2", "loads served from L2", &c.LoadsByLvl[cache.LevelL2])
+	r.Uint64("core.loads.mem", "loads served from DRAM", &c.LoadsByLvl[cache.LevelMem])
+	r.Int64("bpred.lookups", "branch predictor lookups", &c.BP.Lookups)
+	r.Int64("bpred.mispredicts", "branch mispredictions", &c.BP.Mispredict)
+	r.OnReset(func() {
+		c.Stack = stats.CPIStack{}
+		c.startCycle = c.cycleOf(c.commitSlot)
+	})
+	return c
 }
 
 func (c *Core) cycleOf(slot int64) int64 { return slot / int64(c.Cfg.Width) }
@@ -329,15 +346,6 @@ func (c *Core) NormalizedStack() stats.CPIStack {
 		}
 	}
 	return s
-}
-
-// ResetStats starts a new measurement window, preserving learned state.
-func (c *Core) ResetStats() {
-	c.Stack = stats.CPIStack{}
-	c.Instrs, c.Loads, c.Stores, c.Branches = 0, 0, 0, 0
-	c.LoadsByLvl = [3]uint64{}
-	c.startCycle = c.cycleOf(c.commitSlot)
-	c.BP.ResetStats()
 }
 
 // Run drives the emulator through the core for up to maxInstr instructions.

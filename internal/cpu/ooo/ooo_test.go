@@ -210,7 +210,7 @@ func TestResetStats(t *testing.T) {
 	core := New(DefaultConfig(), cache.NewHierarchy(hcfg()))
 	cpu := emu.New(b.Build(), mem.New())
 	core.Run(cpu, 50)
-	core.ResetStats()
+	core.H.Reg.Reset()
 	if core.Instrs != 0 || core.Cycles() != 0 {
 		t.Fatal("stats not cleared")
 	}

@@ -13,6 +13,8 @@
 // regardless of the order the simulator discovers it in.
 package dram
 
+import "repro/internal/metrics"
+
 // winBits is log2 of the ledger window size in cycles.
 const winBits = 6
 
@@ -37,6 +39,19 @@ type Channel struct {
 	Lines      int64 // total line transfers
 	BusyCycles int64 // cumulative channel-busy time (cycles, rounded)
 	queued     int64 // cumulative queueing delay in cycles
+
+	queueLat *metrics.Histogram // per-request queueing delay, if registered
+}
+
+// Register publishes the channel's counters and queueing-delay histogram.
+// A shared channel (multi-core) may be registered into several per-core
+// registries; counters then reset with every core's window (as before),
+// while the histogram feeds the most recently registered core.
+func (c *Channel) Register(r *metrics.Registry) {
+	r.Int64("dram.lines", "DRAM line transfers", &c.Lines)
+	r.Int64("dram.busy_cycles", "cumulative channel-busy cycles", &c.BusyCycles)
+	r.Int64("dram.queued_cycles", "cumulative bandwidth queueing delay (cycles)", &c.queued)
+	c.queueLat = r.NewHistogram("lat.dram.queue", "per-request DRAM bandwidth queueing delay (cycles)")
 }
 
 // Config describes a channel.
@@ -124,6 +139,9 @@ func (c *Channel) Access(at int64) int64 {
 	start := c.book(at)
 	if start > at {
 		c.queued += start - at
+		if c.queueLat != nil {
+			c.queueLat.Observe(start - at)
+		}
 	}
 	c.Lines++
 	c.BusyCycles += c.transferFixed >> fixShift

@@ -80,13 +80,16 @@ type Prefetcher struct {
 // values for ahead-of-stream prefetch computation (the hardware reads the
 // same values from prefetched index cache lines).
 func New(cfg Config, h *cache.Hierarchy, m *mem.Memory) *Prefetcher {
-	return &Prefetcher{
+	p := &Prefetcher{
 		Cfg:     cfg,
 		H:       h,
 		Mem:     m,
 		strides: make([]strideEntry, cfg.StrideEntries),
 		ipt:     make([]iptEntry, cfg.IPTEntries),
 	}
+	h.Reg.Int64("imp.established", "indirect patterns confirmed", &p.Established)
+	h.Reg.Int64("imp.prefetches", "indirect prefetches issued", &p.Prefetches)
+	return p
 }
 
 // OnIssue observes every issued instruction (Companion hook).

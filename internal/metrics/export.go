@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of a registry's metrics, keyed by
+// metric name. It is the unit that travels: scheduler cells carry one per
+// run, the CLI serializes it as JSON, and the export writers render it
+// for humans or Prometheus scrapers. The zero value means "no metrics
+// recorded" (IsZero reports true).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+
+	// help and order carry presentation metadata from the registry; they
+	// intentionally do not survive JSON round trips (the writers fall
+	// back to sorted name order).
+	help  map[string]string
+	order []Desc
+}
+
+// IsZero reports whether the snapshot carries no metrics at all.
+func (s Snapshot) IsZero() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// Delta returns the change from prev to s: counters and histograms
+// subtract, gauges (levels, not events) keep their current value.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+		help:       s.help,
+		order:      s.order,
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		out.Histograms[name] = h.Sub(prev.Histograms[name])
+	}
+	return out
+}
+
+// descs returns presentation order: registration order when known,
+// otherwise all names sorted, with kinds inferred from the value maps.
+func (s Snapshot) descs() []Desc {
+	if len(s.order) > 0 {
+		return s.order
+	}
+	var out []Desc
+	for name := range s.Counters {
+		out = append(out, Desc{Name: name, Kind: KindCounter})
+	}
+	for name := range s.Gauges {
+		out = append(out, Desc{Name: name, Kind: KindGauge})
+	}
+	for name := range s.Histograms {
+		out = append(out, Desc{Name: name, Kind: KindHistogram})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteTable renders the snapshot as an aligned human-readable table:
+// one line per scalar metric, and count/mean/p50/p99 for histograms.
+func (s Snapshot) WriteTable(w io.Writer) {
+	name := func(d Desc) string { return d.Name }
+	width := 0
+	for _, d := range s.descs() {
+		if n := len(name(d)); n > width {
+			width = n
+		}
+	}
+	for _, d := range s.descs() {
+		switch d.Kind {
+		case KindHistogram:
+			h := s.Histograms[d.Name]
+			fmt.Fprintf(w, "%-*s  count=%d mean=%.1f p50<=%d p99<=%d\n",
+				width, d.Name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+		case KindGauge:
+			fmt.Fprintf(w, "%-*s  %d\n", width, d.Name, s.Gauges[d.Name])
+		default:
+			fmt.Fprintf(w, "%-*s  %d\n", width, d.Name, s.Counters[d.Name])
+		}
+	}
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format, with metric names sanitized to [a-z0-9_] and histograms emitted
+// as cumulative _bucket/_sum/_count series.
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	for _, d := range s.descs() {
+		pname := "svrsim_" + promName(d.Name)
+		if help := s.help[d.Name]; help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", pname, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", pname, d.Kind)
+		switch d.Kind {
+		case KindHistogram:
+			h := s.Histograms[d.Name]
+			var cum int64
+			for _, b := range h.Buckets {
+				cum += b.Count
+				fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pname, b.Le, cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pname, h.Count)
+			fmt.Fprintf(w, "%s_sum %d\n", pname, h.Sum)
+			fmt.Fprintf(w, "%s_count %d\n", pname, h.Count)
+		case KindGauge:
+			fmt.Fprintf(w, "%s %d\n", pname, s.Gauges[d.Name])
+		default:
+			fmt.Fprintf(w, "%s %d\n", pname, s.Counters[d.Name])
+		}
+	}
+}
+
+// promName maps a dotted metric name to a Prometheus-legal one.
+func promName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+// Package metrics provides the typed event-counting primitives — Counter,
+// Gauge, and power-of-two-bucketed Histogram — and the Registry that every
+// timing component publishes its statistics through.
+//
+// The registry solves a silent-correctness trap: the warmup/measure split
+// of sim.Simulate requires every event counter in the machine to be zeroed
+// at the window boundary, and with per-component ResetStats methods a new
+// counter was one forgotten edit away from polluting measurements. Here a
+// component registers each counter once, at construction, and a single
+// Registry.Reset() covers all of them; a reflection guard test
+// (internal/sim) fails if a counter-like field ever escapes the registry.
+//
+// All primitives are plain value types updated by direct field access —
+// the hot paths (cache lookups, DRAM bookings, SVI lane issue) pay one
+// integer add or, for histograms, a bit-length and three adds, with no
+// allocation, locking, or map traffic.
+package metrics
+
+import "math/bits"
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) { c.v += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// MarshalJSON renders the counter as a bare number.
+func (c Counter) MarshalJSON() ([]byte, error) { return appendInt(nil, c.v), nil }
+
+// Gauge is an instantaneous level (occupancy, pending entries). Unlike a
+// Counter it is not zeroed by Registry.Reset: a gauge describes state, not
+// events in the measurement window.
+type Gauge struct{ v int64 }
+
+// Set stores the current level.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Add adjusts the level by delta.
+func (g *Gauge) Add(delta int64) { g.v += delta }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v }
+
+// MarshalJSON renders the gauge as a bare number.
+func (g Gauge) MarshalJSON() ([]byte, error) { return appendInt(nil, g.v), nil }
+
+// histBuckets is the bucket count: bits.Len64 of a non-negative int64 is
+// at most 63, so bucket indices span [0, 63].
+const histBuckets = 64
+
+// Histogram accumulates a latency (or any non-negative value)
+// distribution in power-of-two buckets: bucket k counts observations v
+// with bits.Len64(v) == k, i.e. v in [2^(k-1), 2^k - 1], and bucket 0
+// counts exact zeros. A fixed 64-bucket array covers the full int64 range
+// with no allocation on Observe — the property that lets histograms sit
+// on the demand-load and DRAM hot paths.
+type Histogram struct {
+	count   int64
+	sum     int64
+	buckets [histBuckets]int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the average observed value.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Snapshot captures the distribution as a portable value.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum}
+	for k, n := range h.buckets {
+		if n != 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: bucketBound(k), Count: n})
+		}
+	}
+	return s
+}
+
+// bucketBound returns the inclusive upper bound of bucket k.
+func bucketBound(k int) int64 {
+	if k == 0 {
+		return 0
+	}
+	if k >= 63 {
+		return int64(^uint64(0) >> 1) // max int64
+	}
+	return int64(1)<<k - 1
+}
+
+// Bucket is one non-empty histogram bucket: Count observations with value
+// <= Le (and greater than the previous bucket's bound).
+type Bucket struct {
+	Le    int64
+	Count int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram: per-bucket
+// (non-cumulative) counts for the non-empty buckets, in ascending Le.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets []Bucket `json:",omitempty"`
+}
+
+// Mean returns the average observed value.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 < q <= 1) — an upper estimate with power-of-two resolution.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= target {
+			return b.Le
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Le
+}
+
+// Sub returns the bucket-wise difference s - prev, the distribution of
+// observations made after prev was taken.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	old := make(map[int64]int64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		old[b.Le] = b.Count
+	}
+	for _, b := range s.Buckets {
+		if d := b.Count - old[b.Le]; d != 0 {
+			out.Buckets = append(out.Buckets, Bucket{Le: b.Le, Count: d})
+		}
+	}
+	return out
+}
+
+// appendInt is strconv.AppendInt without the import weight.
+func appendInt(dst []byte, v int64) []byte {
+	if v < 0 {
+		dst = append(dst, '-')
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(dst, buf[i:]...)
+}

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 100, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 9 {
+		t.Fatalf("count = %d, want 9", h.Count())
+	}
+	if h.Sum() != 125 { // -5 clamps to 0
+		t.Fatalf("sum = %d, want 125", h.Sum())
+	}
+	s := h.Snapshot()
+	// Expected buckets: le=0 {0,-5}→2, le=1 {1}→1, le=3 {2,3}→2,
+	// le=7 {4,7}→2, le=15 {8}→1, le=127 {100}→1.
+	want := []Bucket{{0, 2}, {1, 1}, {3, 2}, {7, 2}, {15, 1}, {127, 1}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Errorf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+	if got := s.Quantile(0.5); got != 3 {
+		t.Errorf("p50 = %d, want 3", got)
+	}
+	if got := s.Quantile(1.0); got != 127 {
+		t.Errorf("p100 = %d, want 127", got)
+	}
+}
+
+func TestRegistryAdoptAndReset(t *testing.T) {
+	r := New()
+	var plain int64 = 7
+	var uplain uint64 = 9
+	r.Int64("plain", "adopted int64", &plain)
+	r.Uint64("uplain", "adopted uint64", &uplain)
+	c := r.NewCounter("typed", "typed counter")
+	c.Add(3)
+	g := r.NewGauge("level", "a level")
+	g.Set(5)
+	r.GaugeFunc("computed", "computed level", func() int64 { return 11 })
+	h := r.NewHistogram("lat", "a latency")
+	h.Observe(4)
+
+	hookRan := false
+	r.OnReset(func() {
+		if plain != 0 {
+			t.Errorf("hook saw plain=%d, want 0 (hooks run after zeroing)", plain)
+		}
+		hookRan = true
+	})
+
+	s := r.Snapshot()
+	if s.Counters["plain"] != 7 || s.Counters["uplain"] != 9 || s.Counters["typed"] != 3 {
+		t.Fatalf("counters = %v", s.Counters)
+	}
+	if s.Gauges["level"] != 5 || s.Gauges["computed"] != 11 {
+		t.Fatalf("gauges = %v", s.Gauges)
+	}
+	if s.Histograms["lat"].Count != 1 {
+		t.Fatalf("histograms = %v", s.Histograms)
+	}
+
+	r.Reset()
+	if !hookRan {
+		t.Fatal("OnReset hook did not run")
+	}
+	if plain != 0 || uplain != 0 || c.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("reset left counters: plain=%d uplain=%d typed=%d hist=%d",
+			plain, uplain, c.Value(), h.Count())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("reset zeroed gauge: %d", g.Value())
+	}
+	// The earlier snapshot must be unaffected by the reset.
+	if s.Counters["plain"] != 7 {
+		t.Fatalf("snapshot mutated by reset: %v", s.Counters)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := New()
+	var a, b int64
+	r.Int64("x", "", &a)
+	r.Int64("x", "", &b)
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := New()
+	var n int64
+	r.Int64("n", "", &n)
+	h := r.NewHistogram("h", "")
+	g := r.NewGauge("g", "")
+
+	n = 10
+	h.Observe(2)
+	g.Set(4)
+	before := r.Snapshot()
+
+	n = 25
+	h.Observe(2)
+	h.Observe(100)
+	g.Set(6)
+	d := r.Snapshot().Delta(before)
+
+	if d.Counters["n"] != 15 {
+		t.Errorf("delta counter = %d, want 15", d.Counters["n"])
+	}
+	if d.Gauges["g"] != 6 {
+		t.Errorf("delta gauge = %d, want 6 (current level)", d.Gauges["g"])
+	}
+	dh := d.Histograms["h"]
+	if dh.Count != 2 || dh.Sum != 102 {
+		t.Errorf("delta hist = %+v, want count=2 sum=102", dh)
+	}
+	for _, b := range dh.Buckets {
+		if b.Le == 3 && b.Count != 1 {
+			t.Errorf("delta bucket le=3 count = %d, want 1", b.Count)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	var n int64 = 42
+	r.Int64("l1d.misses", "L1D misses", &n)
+	h := r.NewHistogram("lat.demand.mem", "demand latency")
+	h.Observe(200)
+	h.Observe(300)
+
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["l1d.misses"] != 42 {
+		t.Errorf("round-trip counter = %d, want 42", back.Counters["l1d.misses"])
+	}
+	hb := back.Histograms["lat.demand.mem"]
+	if hb.Count != 2 || hb.Sum != 500 {
+		t.Errorf("round-trip hist = %+v", hb)
+	}
+	// Writers must still work on a deserialized snapshot (no order/help).
+	var tbl, prom strings.Builder
+	back.WriteTable(&tbl)
+	back.WritePrometheus(&prom)
+	if !strings.Contains(tbl.String(), "l1d.misses") {
+		t.Errorf("table output missing metric:\n%s", tbl.String())
+	}
+	if !strings.Contains(prom.String(), "svrsim_lat_demand_mem_bucket{le=\"255\"} 1") {
+		t.Errorf("prometheus output missing cumulative bucket:\n%s", prom.String())
+	}
+	if !strings.Contains(prom.String(), "svrsim_lat_demand_mem_bucket{le=\"511\"} 2") {
+		t.Errorf("prometheus output missing cumulative bucket:\n%s", prom.String())
+	}
+}
+
+func TestWritePrometheusWellFormed(t *testing.T) {
+	r := New()
+	var n int64 = 3
+	r.Int64("dram.loads.demand", "DRAM line loads from demand misses", &n)
+	var out strings.Builder
+	r.Snapshot().WritePrometheus(&out)
+	want := "# HELP svrsim_dram_loads_demand DRAM line loads from demand misses\n" +
+		"# TYPE svrsim_dram_loads_demand counter\n" +
+		"svrsim_dram_loads_demand 3\n"
+	if out.String() != want {
+		t.Errorf("got:\n%s\nwant:\n%s", out.String(), want)
+	}
+}

@@ -6,21 +6,45 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
 // Report is the output of one experiment: printable tables plus named
 // scalar values the tests assert against, and the scheduler counters of
-// every grid the experiment ran.
+// every grid the experiment ran. When cell-metric collection is on
+// (SetCellMetrics), every scheduler cell's registry snapshot rides along.
 type Report struct {
-	ID     string
-	Title  string
-	Tables []*stats.Table
-	Charts []*stats.BarChart
-	Notes  []string
-	Values map[string]float64
-	Sched  SchedStats
+	ID          string
+	Title       string
+	Tables      []*stats.Table
+	Charts      []*stats.BarChart
+	Notes       []string
+	Values      map[string]float64
+	Sched       SchedStats
+	CellMetrics []CellMetrics
+}
+
+// CellMetrics pairs one scheduler cell with its metric snapshot.
+type CellMetrics struct {
+	Label    string
+	Workload string
+	Metrics  metrics.Snapshot
+}
+
+// cellMetricsOn gates per-cell snapshot collection into reports; the CLI
+// flips it for the -metrics flag. Collection is cheap (the snapshots
+// already exist on every Result), but the JSON it adds is bulky, so it
+// stays opt-in.
+var cellMetricsOn bool
+
+// SetCellMetrics toggles per-cell metric collection into reports and
+// returns the previous setting.
+func SetCellMetrics(on bool) bool {
+	prev := cellMetricsOn
+	cellMetricsOn = on
+	return prev
 }
 
 func newReport(id, title string) *Report {
@@ -61,20 +85,29 @@ func (r *Report) CSV() string {
 // only non-deterministic field.
 func (r *Report) JSON() ([]byte, error) {
 	return json.MarshalIndent(struct {
-		ID     string
-		Title  string
-		Notes  []string `json:",omitempty"`
-		Values map[string]float64
-		Tables []*stats.Table `json:",omitempty"`
-		Sched  SchedStats
-	}{r.ID, r.Title, r.Notes, r.Values, r.Tables, r.Sched}, "", "  ")
+		ID          string
+		Title       string
+		Notes       []string `json:",omitempty"`
+		Values      map[string]float64
+		Tables      []*stats.Table `json:",omitempty"`
+		Sched       SchedStats
+		CellMetrics []CellMetrics `json:",omitempty"`
+	}{r.ID, r.Title, r.Notes, r.Values, r.Tables, r.Sched, r.CellMetrics}, "", "  ")
 }
 
 // matrix runs the cell scheduler over the grid and folds its counters
-// into the report.
+// (and, when enabled, each cell's metric snapshot) into the report.
 func (r *Report) matrix(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet {
 	rs := runMatrix(cfgs, specs, p)
 	r.Sched.add(rs.Stats)
+	if cellMetricsOn {
+		for _, c := range rs.Cells {
+			res, _ := rs.Get(c.Label, c.Workload)
+			r.CellMetrics = append(r.CellMetrics, CellMetrics{
+				Label: c.Label, Workload: c.Workload, Metrics: res.Metrics,
+			})
+		}
+	}
 	return rs
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/energy"
 	"repro/internal/imp"
+	"repro/internal/metrics"
 	"repro/internal/svr"
 	"repro/internal/workloads"
 )
@@ -30,10 +31,14 @@ type Machine interface {
 	// to keep co-simulated machines loosely synchronized.
 	Now() int64
 	// ResetStats zeroes measurement state after warmup; microarchitectural
-	// state (predictors, cache contents) is preserved.
+	// state (predictors, cache contents) is preserved. It is a single
+	// Registry.Reset: every component registered its counters at
+	// construction.
 	ResetStats()
 	// Collect assembles the Result of the window since the last ResetStats.
 	Collect() Result
+	// Registry exposes the machine-wide metrics registry.
+	Registry() *metrics.Registry
 }
 
 // MachineFactory builds a machine of one kind over a pre-built hierarchy.
@@ -124,16 +129,11 @@ func (m *inOrderMachine) Step(n uint64) bool { return m.core.Run(m.cpu, n) == n 
 func (m *inOrderMachine) Instrs() uint64     { return m.core.Instrs }
 func (m *inOrderMachine) Now() int64         { return m.core.Now() }
 
-func (m *inOrderMachine) ResetStats() {
-	m.core.ResetStats()
-	m.h.ResetStats()
-	if m.eng != nil {
-		m.eng.ResetStats()
-	}
-}
+func (m *inOrderMachine) Registry() *metrics.Registry { return m.h.Reg }
+func (m *inOrderMachine) ResetStats()                 { m.h.Reg.Reset() }
 
 func (m *inOrderMachine) Collect() Result {
-	res := Result{Workload: m.inst.Name, Label: m.cfg.Label}
+	res := Result{Workload: m.inst.Name, Label: m.cfg.Label, Metrics: m.h.Reg.Snapshot()}
 	res.fillCommon(m.core.Instrs, m.core.Cycles(), m.core.NormalizedStack(), m.h)
 	res.ExtraSlots = m.core.ExtraSlots
 	var scalars int64
@@ -172,13 +172,11 @@ func (m *oooMachine) Step(n uint64) bool { return m.core.Run(m.cpu, n) == n }
 func (m *oooMachine) Instrs() uint64     { return m.core.Instrs }
 func (m *oooMachine) Now() int64         { return m.core.Now() }
 
-func (m *oooMachine) ResetStats() {
-	m.core.ResetStats()
-	m.h.ResetStats()
-}
+func (m *oooMachine) Registry() *metrics.Registry { return m.h.Reg }
+func (m *oooMachine) ResetStats()                 { m.h.Reg.Reset() }
 
 func (m *oooMachine) Collect() Result {
-	res := Result{Workload: m.inst.Name, Label: m.cfg.Label}
+	res := Result{Workload: m.inst.Name, Label: m.cfg.Label, Metrics: m.h.Reg.Snapshot()}
 	res.fillCommon(m.core.Instrs, m.core.Cycles(), m.core.NormalizedStack(), m.h)
 	res.Energy = energy.Estimate(energy.DefaultParams(), energy.Activity{
 		Core: energy.OutOfOrder, Cycles: m.core.Cycles(), Instrs: m.core.Instrs,

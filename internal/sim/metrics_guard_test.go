@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/imp"
+	"repro/internal/workloads"
+)
+
+// guardSkipFields lists exported numeric-bearing fields that are
+// configuration or wiring rather than measurement counters. Everything
+// else numeric and exported reachable from a machine's component graph
+// (core, hierarchy, caches, TLBs, walker pool, DRAM channel, prefetch
+// tracker, branch predictor) must return to zero after Registry.Reset.
+// Adding a counter-like exported field without registering it makes
+// TestRegistryResetCoversExportedCounters fail.
+var guardSkipFields = map[string]bool{
+	"Cfg":           true, // component configuration structs
+	"Opt":           true, // SVR options
+	"WalkLatency":   true, // fixed page-walk cost, not a counter
+	"LatencyCycles": true, // fixed DRAM access latency, not a counter
+	"Mem":           true, // workload memory image (IMP's value source)
+	"Reg":           true, // the registry itself
+}
+
+// guardField is one settable numeric field found by the walk, with a
+// human-readable path for failure messages.
+type guardField struct {
+	path string
+	v    reflect.Value
+}
+
+type guardVisit struct {
+	t reflect.Type
+	p uintptr
+}
+
+// collectNumeric walks the exported fields reachable from v — following
+// pointers, recursing into structs and arrays — and appends every
+// settable numeric field. Interfaces, maps, slices, and unexported
+// fields are not followed.
+func collectNumeric(v reflect.Value, path string, seen map[guardVisit]bool, out *[]guardField) {
+	switch v.Kind() {
+	case reflect.Pointer:
+		if v.IsNil() {
+			return
+		}
+		key := guardVisit{v.Type(), v.Pointer()}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		collectNumeric(v.Elem(), path, seen, out)
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			f := t.Field(i)
+			if f.PkgPath != "" || guardSkipFields[f.Name] {
+				continue
+			}
+			collectNumeric(v.Field(i), path+"."+f.Name, seen, out)
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			collectNumeric(v.Index(i), fmt.Sprintf("%s[%d]", path, i), seen, out)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		if v.CanSet() {
+			*out = append(*out, guardField{path, v})
+		}
+	}
+}
+
+func pokeSentinel(f guardField) {
+	switch f.v.Kind() {
+	case reflect.Float32, reflect.Float64:
+		f.v.SetFloat(777.5)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		f.v.SetUint(77)
+	default:
+		f.v.SetInt(77)
+	}
+}
+
+func isZeroNumeric(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Float32, reflect.Float64:
+		return v.Float() == 0
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return v.Uint() == 0
+	default:
+		return v.Int() == 0
+	}
+}
+
+// TestRegistryResetCoversExportedCounters is the guard rail for the
+// metrics registry: every exported numeric field reachable from a
+// machine (hierarchy, caches, TLBs, walker pool, DRAM channel, tracker,
+// branch predictor, core stats, SVR stats, IMP stats) is poked with a
+// sentinel, then one Registry.Reset must restore all of them to zero.
+// A new counter field that is not registered (or covered by an OnReset
+// hook) shows up here as a named path.
+func TestRegistryResetCoversExportedCounters(t *testing.T) {
+	spec, err := workloads.Get("Randacc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []CoreKind{InO, IMP, OoO, SVR} {
+		t.Run(kind.String(), func(t *testing.T) {
+			m, err := NewMachine(MachineConfig(kind), spec.Build(QuickParams().Scale))
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[guardVisit]bool{}
+			var fields []guardField
+			switch mm := m.(type) {
+			case *inOrderMachine:
+				collectNumeric(reflect.ValueOf(mm.core), "Core", seen, &fields)
+				if mm.eng != nil {
+					collectNumeric(reflect.ValueOf(&mm.eng.Stats), "Engine.Stats", seen, &fields)
+				}
+				if p, ok := mm.core.Companion.(*imp.Prefetcher); ok {
+					collectNumeric(reflect.ValueOf(p), "IMP", seen, &fields)
+				}
+			case *oooMachine:
+				collectNumeric(reflect.ValueOf(mm.core), "Core", seen, &fields)
+			default:
+				t.Fatalf("unknown machine type %T", m)
+			}
+			// The walk must actually find the counter surface; a collapse
+			// here means the reflection traversal broke, not that the
+			// registry got better.
+			if len(fields) < 20 {
+				t.Fatalf("walk found only %d numeric fields; traversal is broken", len(fields))
+			}
+			for _, f := range fields {
+				pokeSentinel(f)
+			}
+			m.ResetStats()
+			for _, f := range fields {
+				if !isZeroNumeric(f.v) {
+					t.Errorf("%s = %v after Registry.Reset; counter not registered (or missing an OnReset hook)", f.path, f.v)
+				}
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cpu/ooo"
 	"repro/internal/energy"
 	"repro/internal/imp"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/svr"
 	"repro/internal/workloads"
@@ -122,6 +123,10 @@ type Result struct {
 
 	SVRStats   svr.Stats
 	ExtraSlots int64
+
+	// Metrics is the machine's full registry snapshot for the measurement
+	// window — every counter and latency histogram, keyed by metric name.
+	Metrics metrics.Snapshot
 }
 
 // Run simulates one workload on one machine. It builds a fresh instance

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -61,13 +62,15 @@ type Engine struct {
 	scratchA, scratchB []laneOp
 
 	Stats Stats
+
+	fillDist *metrics.Histogram // SVI lane issue-to-fill distance
 }
 
 // New builds an engine attached to the given hierarchy and emulator CPU.
 // Options are normalized (see Options.Normalize).
 func New(opt Options, h *cache.Hierarchy, cpu *emu.CPU) *Engine {
 	opt = opt.Normalize()
-	return &Engine{
+	e := &Engine{
 		Opt:        opt,
 		H:          h,
 		CPU:        cpu,
@@ -82,19 +85,37 @@ func New(opt Options, h *cache.Hierarchy, cpu *emu.CPU) *Engine {
 		scratchA:   make([]laneOp, opt.VectorLen),
 		scratchB:   make([]laneOp, opt.VectorLen),
 	}
+	e.register(h.Reg)
+	return e
+}
+
+// register publishes the engine's activity counters and hooks the
+// accuracy monitor's re-baseline into the registry reset: at a window
+// boundary the monitor must re-read the (just-zeroed) prefetch tracker
+// stats, or the first tick of the new window would see a huge negative
+// delta. The ban state itself persists across resets, as before.
+func (e *Engine) register(r *metrics.Registry) {
+	r.Int64("svr.rounds", "PRM rounds entered", &e.Stats.Rounds)
+	r.Int64("svr.svis", "scalar-vector instructions generated", &e.Stats.SVIs)
+	r.Int64("svr.scalars", "transient scalar copies issued", &e.Stats.Scalars)
+	r.Int64("svr.timeouts", "rounds ended by the instruction timeout", &e.Stats.Timeouts)
+	r.Int64("svr.nested_aborts", "PRM aborts due to inner-loop detection", &e.Stats.NestedAborts)
+	r.Int64("svr.retargets", "HSLR retargets", &e.Stats.Retargets)
+	r.Int64("svr.chain_starts", "extra chains started inside a round", &e.Stats.ChainStarts)
+	r.Int64("svr.masked_lanes", "lanes masked off by control-flow divergence", &e.Stats.MaskedLanes)
+	r.Int64("svr.bans", "times the accuracy monitor disabled SVR", &e.Stats.Bans)
+	r.Int64("svr.skipped_lil", "SVIs suppressed past the last indirect load", &e.Stats.SkippedLIL)
+	r.Int64("svr.head_lil", "rounds that recorded the head itself as LIL", &e.Stats.HeadLIL)
+	r.Int64("svr.pred_zero", "rounds skipped because the predictor said 0", &e.Stats.PredZero)
+	e.fillDist = r.NewHistogram("lat.svr.fill", "SVI lane issue-to-fill distance (cycles)")
+	r.OnReset(func() {
+		st := e.H.Tracker.Stats[cache.OriginSVR]
+		e.mon.baseUsed, e.mon.baseEvicted = st.Used, st.EvictedUnused
+	})
 }
 
 // Banned reports whether the accuracy monitor currently disables SVR.
 func (e *Engine) Banned() bool { return e.mon.banned }
-
-// ResetStats clears the activity counters and re-baselines the accuracy
-// monitor against the (possibly reset) prefetch tracker. Call it together
-// with Hierarchy.ResetStats at the start of a measurement window.
-func (e *Engine) ResetStats() {
-	e.Stats = Stats{}
-	st := e.H.Tracker.Stats[cache.OriginSVR]
-	e.mon.baseUsed, e.mon.baseEvicted = st.Used, st.EvictedUnused
-}
 
 // InPRM reports whether a piggyback-runahead round is active (tests).
 func (e *Engine) InPRM() bool { return e.inPRM }
@@ -221,7 +242,7 @@ func (e *Engine) onCmp(rec *emu.DynInstr, issueAt int64) {
 		}
 		e.laneFlags[i] = emu.CmpSign(a, b)
 		e.laneFValid[i] = true
-		e.laneFReady[i] = maxI64(aReady, bReady)
+		e.laneFReady[i] = max(aReady, bReady)
 	}
 	e.Stats.SVIs++
 }
@@ -421,6 +442,9 @@ func (e *Engine) vectorizeHead(rec *emu.DynInstr, sd *SDEntry, issueAt int64, is
 		addr := rec.Addr + uint64((int64(i)+1)*sd.Stride)
 		start := e.laneStart(issueAt, scalars)
 		res := e.H.Prefetch(addr, start, cache.OriginSVR)
+		if e.fillDist != nil {
+			e.fillDist.Observe(res.CompleteAt - start)
+		}
 		srf.Lanes[i] = Lane{
 			Val:   loadValue(e, addr, in.Size),
 			Ready: res.CompleteAt,
@@ -538,7 +562,7 @@ func (e *Engine) genSVI(rec *emu.DynInstr, issueAt int64) int64 {
 				continue
 			}
 			addr := uint64(aOps[i].val + in.Imm)
-			e.H.Prefetch(addr, maxI64(e.laneStart(issueAt, scalars), aOps[i].ready), cache.OriginSVR)
+			e.H.Prefetch(addr, max(e.laneStart(issueAt, scalars), aOps[i].ready), cache.OriginSVR)
 			scalars++
 		}
 		e.Stats.SVIs++
@@ -559,8 +583,11 @@ func (e *Engine) genSVI(rec *emu.DynInstr, issueAt int64) int64 {
 				continue
 			}
 			addr := uint64(aOps[i].val + in.Imm)
-			start := maxI64(e.laneStart(issueAt, scalars), aOps[i].ready)
+			start := max(e.laneStart(issueAt, scalars), aOps[i].ready)
 			res := e.H.Prefetch(addr, start, cache.OriginSVR)
+			if e.fillDist != nil {
+				e.fillDist.Observe(res.CompleteAt - start)
+			}
 			srf.Lanes[i] = Lane{Val: loadValue(e, addr, in.Size), Ready: res.CompleteAt, Valid: true}
 			scalars++
 		}
@@ -585,7 +612,7 @@ func (e *Engine) genSVI(rec *emu.DynInstr, issueAt int64) int64 {
 			if !pure {
 				continue
 			}
-			start := maxI64(e.laneStart(issueAt, scalars), maxI64(aOps[i].ready, bOps[i].ready))
+			start := max(e.laneStart(issueAt, scalars), max(aOps[i].ready, bOps[i].ready))
 			srf.Lanes[i] = Lane{Val: v, Ready: start + aluLatency(in.Kind()), Valid: true}
 			scalars++
 		}
@@ -777,11 +804,4 @@ func (e *Engine) abortRound() {
 	e.stopSVI = false
 	e.sawDepLoad = false
 	e.RF.Reset()
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
