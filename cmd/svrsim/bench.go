@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// BenchReport is the machine-readable output of `svrsim bench`: the
+// throughput of the simulator itself on the experiment grid, used by CI as
+// a perf-regression reference (BENCH_PR3.json at the repo root is the
+// committed baseline).
+type BenchReport struct {
+	Generated      string  `json:"generated"`
+	GoVersion      string  `json:"go_version"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Scale          string  `json:"scale"`
+	Experiments    int     `json:"experiments"`
+	Cells          int     `json:"cells"`
+	Instrs         uint64  `json:"instructions"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	CellsPerSec    float64 `json:"cells_per_sec"`
+	NSPerInstr     float64 `json:"ns_per_simulated_instr"`
+	AllocsPerInstr float64 `json:"allocs_per_instr"`
+	MSPerCell      float64 `json:"wall_ms_per_cell"`
+}
+
+// cmdBench runs every experiment cold (run cache disabled, so each cell
+// simulates) and reports simulator throughput. Reports go to out as JSON;
+// a human summary and the optional baseline diff go to w. The experiment
+// reports themselves are discarded — correctness of their content is the
+// test suite's job, this command only times them.
+func cmdBench(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	outF := fs.String("out", "BENCH_PR3.json", "write the bench report JSON to this file")
+	baseF := fs.String("baseline", "", "prior bench JSON to diff against (informational)")
+	cpuF := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memF := fs.String("memprofile", "", "write an allocation profile to this file")
+	fullF := fs.Bool("full", false, "paper-scale inputs instead of quick scale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := sim.ExpParams{Params: sim.QuickParams()}
+	scale := "quick"
+	if *fullF {
+		p.Params = sim.DefaultParams()
+		scale = "full"
+	}
+
+	prevCache := sim.SetRunCacheEnabled(false)
+	defer sim.SetRunCacheEnabled(prevCache)
+
+	var cells int
+	var instrs uint64
+	sim.SetProgressHook(func(ev sim.CellEvent) {
+		cells++
+		instrs += ev.Instrs
+	})
+	defer sim.SetProgressHook(nil)
+
+	if *cpuF != "" {
+		f, err := os.Create(*cpuF)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	exps := sim.Experiments()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for _, e := range exps {
+		e.Run(p)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	if *memF != "" {
+		f, err := os.Create(*memF)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			return err
+		}
+	}
+
+	rep := BenchReport{
+		Generated:   start.UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Scale:       scale,
+		Experiments: len(exps),
+		Cells:       cells,
+		Instrs:      instrs,
+		WallSeconds: wall.Seconds(),
+	}
+	if s := wall.Seconds(); s > 0 {
+		rep.CellsPerSec = float64(cells) / s
+	}
+	if instrs > 0 {
+		rep.NSPerInstr = float64(wall.Nanoseconds()) / float64(instrs)
+		rep.AllocsPerInstr = float64(m1.Mallocs-m0.Mallocs) / float64(instrs)
+	}
+	if cells > 0 {
+		rep.MSPerCell = wall.Seconds() * 1e3 / float64(cells)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outF, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "bench: %d cells, %d Minstr in %.1fs — %.2f cells/s, %.0f ns/instr, %.3f allocs/instr\n",
+		cells, instrs/1e6, wall.Seconds(), rep.CellsPerSec, rep.NSPerInstr, rep.AllocsPerInstr)
+
+	if *baseF != "" {
+		if err := printBenchDelta(w, *baseF, rep); err != nil {
+			// The diff is informational; a missing or stale baseline must
+			// not fail the bench (CI treats this step as non-blocking).
+			fmt.Fprintf(w, "bench: baseline diff skipped: %v\n", err)
+		}
+	}
+	return nil
+}
+
+// printBenchDelta prints the relative change against a previous report.
+func printBenchDelta(w io.Writer, path string, cur BenchReport) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base BenchReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return err
+	}
+	if base.Scale != cur.Scale {
+		return fmt.Errorf("baseline scale %q != current %q", base.Scale, cur.Scale)
+	}
+	pct := func(now, was float64) string {
+		if was == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(now-was)/was)
+	}
+	fmt.Fprintf(w, "vs %s:\n", path)
+	fmt.Fprintf(w, "  wall        %8.1fs -> %8.1fs  (%s)\n", base.WallSeconds, cur.WallSeconds, pct(cur.WallSeconds, base.WallSeconds))
+	fmt.Fprintf(w, "  cells/s     %8.2f -> %8.2f  (%s)\n", base.CellsPerSec, cur.CellsPerSec, pct(cur.CellsPerSec, base.CellsPerSec))
+	fmt.Fprintf(w, "  ns/instr    %8.0f -> %8.0f  (%s)\n", base.NSPerInstr, cur.NSPerInstr, pct(cur.NSPerInstr, base.NSPerInstr))
+	fmt.Fprintf(w, "  allocs/instr%8.3f -> %8.3f  (%s)\n", base.AllocsPerInstr, cur.AllocsPerInstr, pct(cur.AllocsPerInstr, base.AllocsPerInstr))
+	return nil
+}

@@ -70,6 +70,8 @@ func dispatch(w io.Writer, cmd string, args []string) error {
 		return cmdTrace(w, args)
 	case "compare":
 		return cmdCompare(w, args)
+	case "bench":
+		return cmdBench(w, args)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -88,6 +90,7 @@ func usage() {
   svrsim disasm <workload>         print a kernel's assembly
   svrsim trace <workload> [flags]  dump pipeline + runahead events
   svrsim compare <workload>        one workload on every machine, side by side
+  svrsim bench [flags]             time the simulator itself on the cold grid
 
 run/all flags:
   -quick             small inputs and short windows
@@ -98,6 +101,13 @@ run/all flags:
   -workloads a,b,c   restrict to named workloads
   -measure N         measured instructions per run
   -warmup N          warmup instructions per run
+
+bench flags:
+  -out F             bench report JSON path (default BENCH_PR3.json)
+  -baseline F        diff against a previous bench JSON (informational)
+  -cpuprofile F      write a CPU profile
+  -memprofile F      write an allocation profile
+  -full              paper-scale inputs instead of quick scale
 
 metrics flags:
   -core K            machine: inorder, imp, ooo, svr (default svr)

@@ -1,0 +1,122 @@
+package repro
+
+// Micro-benchmarks and allocation guards for the simulator's hot path:
+// the emulator step loop, the radix-table memory, and the L1 fast path.
+// The AllocsPerRun tests are regression guards — the step and L1-hit
+// paths are allocation-free by construction, and any future allocation
+// there costs throughput on every simulated instruction.
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// stepProg is a tiny endless kernel exercising the emulator's ALU, load,
+// store and branch paths without ever halting.
+func stepProg() *isa.Program {
+	return &isa.Program{
+		Name: "bench-loop",
+		Code: []isa.Instr{
+			{Op: isa.OpAddI, Rd: 1, Ra: 1, Imm: 8},
+			{Op: isa.OpAndI, Rd: 1, Ra: 1, Imm: 1<<16 - 1},
+			{Op: isa.OpLoad, Rd: 2, Ra: 1, Imm: 0, Size: 8},
+			{Op: isa.OpAdd, Rd: 3, Ra: 3, Rb: 2},
+			{Op: isa.OpStore, Ra: 1, Rb: 3, Imm: 8, Size: 8},
+			{Op: isa.OpJmp, Imm: 0},
+		},
+	}
+}
+
+func BenchmarkMemReadWrite(b *testing.B) {
+	m := mem.New()
+	const span = 1 << 20 // 1 MiB working set across many pages
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i*64) % span
+		m.Write(addr, uint64(i), 8)
+		sink += m.Read(addr, 8)
+	}
+	_ = sink
+}
+
+func BenchmarkEmuStep(b *testing.B) {
+	cpu := emu.New(stepProg(), mem.New())
+	var rec emu.DynInstr
+	cpu.Step(&rec) // touch the image so the timed loop is steady-state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.Step(&rec)
+	}
+}
+
+func BenchmarkHierarchyAccessHit(b *testing.B) {
+	h := cache.NewHierarchy(cache.DefaultConfig())
+	// Warm translation and line state so the timed loop measures the
+	// L1-hit fast path only.
+	for i := 0; i < 16; i++ {
+		h.Access(1, 0x1000, false, int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(1, 0x1000, false, int64(i+16))
+	}
+}
+
+// TestEmuStepDoesNotAllocate guards the emulator step loop: one executed
+// instruction must not allocate.
+func TestEmuStepDoesNotAllocate(t *testing.T) {
+	cpu := emu.New(stepProg(), mem.New())
+	var rec emu.DynInstr
+	// Warm: touch every page the kernel will ever address so the timed
+	// runs never take the first-touch page allocation.
+	for i := 0; i < 1<<14; i++ {
+		cpu.Step(&rec)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { cpu.Step(&rec) }); allocs != 0 {
+		t.Fatalf("emu.Step allocates %.1f objects per instruction; the step loop must be allocation-free", allocs)
+	}
+}
+
+// TestHierarchyL1HitDoesNotAllocate guards the demand-access L1-hit fast
+// path, the single hottest call of the timing model.
+func TestHierarchyL1HitDoesNotAllocate(t *testing.T) {
+	h := cache.NewHierarchy(cache.DefaultConfig())
+	at := int64(0)
+	for i := 0; i < 64; i++ {
+		h.Access(1, 0x1000, false, at)
+		at++
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Access(1, 0x1000, false, at)
+		at++
+	}); allocs != 0 {
+		t.Fatalf("L1-hit Access allocates %.1f objects per access; the hit path must be allocation-free", allocs)
+	}
+}
+
+// TestMemReadWriteDoesNotAllocate guards the radix-table memory: accesses
+// to already-touched pages must not allocate.
+func TestMemReadWriteDoesNotAllocate(t *testing.T) {
+	m := mem.New()
+	const span = 1 << 20
+	for a := uint64(0); a < span; a += mem.PageSize {
+		m.Write(a, 1, 8) // fault every page in
+	}
+	i := uint64(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		addr := (i * 64) % span
+		m.Write(addr, i, 8)
+		_ = m.Read(addr, 8)
+		i++
+	}); allocs != 0 {
+		t.Fatalf("mem.Read/Write allocates %.1f objects per access on warm pages", allocs)
+	}
+}

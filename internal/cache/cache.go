@@ -64,9 +64,22 @@ type Cache struct {
 	setBits  uint
 	lruClock uint64
 
+	// Single-entry last-line cache: fastLine is the line index
+	// (addr>>LineBits) of the most recently hit or filled line plus one
+	// (zero = invalid) and fastWay points at its way. Lookup and Peek
+	// consult it before scanning the set; Fill repoints it. The fast
+	// path replays exactly the state updates of a scan hit, so cache
+	// contents, LRU order and counters are bit-identical either way.
+	fastLine uint64
+	fastWay  *line
+
 	// MSHRs: outstanding fills, as (line address, ready cycle) pairs.
-	mshrs   []mshrEntry
-	mshrCap int
+	// mshrMaxReady is the latest fill completion ever recorded: a probe
+	// at a cycle at or past it cannot find an in-flight fill, which lets
+	// the demand path skip the MSHR scan entirely.
+	mshrs        []mshrEntry
+	mshrCap      int
+	mshrMaxReady int64
 
 	// Stats.
 	Accesses        int64
@@ -130,6 +143,20 @@ func (c *Cache) tag(addr uint64) uint64 { return addr >> (LineBits + c.setBits) 
 // when markTouched is set).
 func (c *Cache) Lookup(addr uint64, write, markTouched bool) (hit bool, wasPrefetch Origin) {
 	c.Accesses++
+	if c.fastLine == addr>>LineBits+1 {
+		l := c.fastWay
+		c.lruClock++
+		l.lastUse = c.lruClock
+		if write {
+			l.dirty = true
+		}
+		pf := l.prefetch
+		if markTouched {
+			l.touched = true
+			l.prefetch = -1
+		}
+		return true, pf
+	}
 	tag := c.tag(addr)
 	set := c.set(addr)
 	for i := range set {
@@ -140,6 +167,7 @@ func (c *Cache) Lookup(addr uint64, write, markTouched bool) (hit bool, wasPrefe
 			if write {
 				l.dirty = true
 			}
+			c.fastLine, c.fastWay = addr>>LineBits+1, l
 			pf := l.prefetch
 			if markTouched {
 				l.touched = true
@@ -152,8 +180,38 @@ func (c *Cache) Lookup(addr uint64, write, markTouched bool) (hit bool, wasPrefe
 	return false, -1
 }
 
+// Refresh re-touches a present line exactly as a no-write, no-mark Lookup
+// hit would — counting the access and bumping LRU — but records nothing at
+// all on a miss. It fuses the prefetch path's Peek-then-Lookup pair into a
+// single set scan; the state after Refresh is bit-identical to
+// `if c.Peek(addr) { c.Lookup(addr, false, false) }`.
+func (c *Cache) Refresh(addr uint64) bool {
+	if c.fastLine == addr>>LineBits+1 {
+		c.Accesses++
+		c.lruClock++
+		c.fastWay.lastUse = c.lruClock
+		return true
+	}
+	tag := c.tag(addr)
+	set := c.set(addr)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			c.Accesses++
+			c.lruClock++
+			l.lastUse = c.lruClock
+			c.fastLine, c.fastWay = addr>>LineBits+1, l
+			return true
+		}
+	}
+	return false
+}
+
 // Peek reports whether the line is present, with no state change.
 func (c *Cache) Peek(addr uint64) bool {
+	if c.fastLine == addr>>LineBits+1 {
+		return true
+	}
 	tag := c.tag(addr)
 	for _, l := range c.set(addr) {
 		if l.valid && l.tag == tag {
@@ -185,6 +243,7 @@ func (c *Cache) Fill(addr uint64, dirty bool, prefetchOrigin Origin) Victim {
 			if dirty {
 				l.dirty = true
 			}
+			c.fastLine, c.fastWay = addr>>LineBits+1, l
 			return Victim{}
 		}
 		if !l.valid {
@@ -206,6 +265,10 @@ func (c *Cache) Fill(addr uint64, dirty bool, prefetchOrigin Origin) Victim {
 	}
 	c.lruClock++
 	*v = line{tag: tag, valid: true, dirty: dirty, lastUse: c.lruClock, prefetch: prefetchOrigin, touched: false}
+	// Repoint the last-line cache at the filled line. This also heals the
+	// one way the mapping can go stale: a fill is the only operation that
+	// changes which line a way holds.
+	c.fastLine, c.fastWay = addr>>LineBits+1, v
 	return victim
 }
 
@@ -260,7 +323,16 @@ func (c *Cache) MSHRAcquire(addr uint64, at int64) (start int64, idx int) {
 // MSHRAcquire.
 func (c *Cache) MSHRComplete(idx int, readyAt int64) {
 	c.mshrs[idx].readyAt = readyAt
+	if readyAt > c.mshrMaxReady {
+		c.mshrMaxReady = readyAt
+	}
 }
+
+// MSHRQuiesced reports that no fill can be in flight at cycle at: every
+// completion ever recorded is at or before at. It lets hit-dominated
+// phases skip the MSHR scan; when it returns false the caller must do the
+// full MSHRLookup.
+func (c *Cache) MSHRQuiesced(at int64) bool { return at >= c.mshrMaxReady }
 
 // MSHROccupancy returns the number of outstanding misses at cycle at.
 func (c *Cache) MSHROccupancy(at int64) int {

@@ -161,7 +161,16 @@ func NewHierarchyShared(cfg Config, ch *dram.Channel) *Hierarchy {
 // translate runs the TLB/PTW path and returns the cycle at which the
 // physical address is known.
 func (h *Hierarchy) translate(addr uint64, at int64) int64 {
-	if h.DTLB.Lookup(addr) {
+	// Inlined D-TLB MRU hit — the exact state updates of TLB.Lookup's
+	// fast path without the call.
+	d := h.DTLB
+	if vpn := addr >> PageBits; d.fastVPN == vpn+1 {
+		d.Accesses++
+		d.clock++
+		d.fastEntry.lastUse = d.clock
+		return at // D-TLB hit is pipelined with the L1 access
+	}
+	if d.Lookup(addr) {
 		return at // D-TLB hit is pipelined with the L1 access
 	}
 	if h.STLB.Lookup(addr) {
@@ -238,8 +247,10 @@ func (h *Hierarchy) Access(pc int, addr uint64, write bool, at int64) Result {
 	}
 
 	if h.Stride != nil && !write {
-		h.pfBuf = h.pfBuf[:0]
-		for _, pa := range h.Stride.Observe(pc, addr, h.pfBuf) {
+		// Keep the (possibly grown) buffer so steady-state prefetch
+		// bursts reuse one backing array instead of allocating per load.
+		h.pfBuf = h.Stride.Observe(pc, addr, h.pfBuf[:0])
+		for _, pa := range h.pfBuf {
 			h.Prefetch(pa, at, OriginStride)
 		}
 	}
@@ -248,8 +259,14 @@ func (h *Hierarchy) Access(pc int, addr uint64, write bool, at int64) Result {
 
 func (h *Hierarchy) demandAccess(addr uint64, write bool, t int64) Result {
 	// An in-flight fill shadows the (already-installed) line contents:
-	// data is not usable before the fill completes.
-	ready, inflight := h.L1D.MSHRLookup(addr, t)
+	// data is not usable before the fill completes. When every recorded
+	// fill has already completed the scan is skipped outright — the
+	// common case in hit-dominated phases.
+	var ready int64
+	var inflight bool
+	if !h.L1D.MSHRQuiesced(t) {
+		ready, inflight = h.L1D.MSHRLookup(addr, t)
+	}
 	if hit, _ := h.L1D.Lookup(addr, write, true); hit {
 		if inflight {
 			return Result{CompleteAt: max(ready, t+h.Cfg.L1Latency), Level: LevelMem}
@@ -269,11 +286,14 @@ func (h *Hierarchy) demandAccess(addr uint64, write bool, t int64) Result {
 // L1 latency or the remaining fill time.
 func (h *Hierarchy) Prefetch(addr uint64, at int64, origin Origin) Result {
 	t := h.translate(addr, at)
-	ready, inflight := h.L1D.MSHRLookup(addr, t)
-	if h.L1D.Peek(addr) {
-		// Refresh LRU but do not clear prefetch tags: only demand
-		// touches count for accuracy.
-		h.L1D.Lookup(addr, false, false)
+	var ready int64
+	var inflight bool
+	if !h.L1D.MSHRQuiesced(t) {
+		ready, inflight = h.L1D.MSHRLookup(addr, t)
+	}
+	if h.L1D.Refresh(addr) {
+		// Present: LRU refreshed, prefetch tags untouched (only demand
+		// touches count for accuracy).
 		if inflight {
 			return Result{CompleteAt: max(ready, t+h.Cfg.L1Latency), Level: LevelMem}
 		}
@@ -290,6 +310,26 @@ func (h *Hierarchy) Prefetch(addr uint64, at int64, origin Origin) Result {
 // in the L1-I, so the common case is free (hit latency is hidden by
 // fetch-ahead); a miss stalls the front end for the fill.
 func (h *Hierarchy) FetchInstr(addr uint64, at int64) (bubble int64) {
+	// Combined I-side fast path: MRU ITLB entry and MRU L1I line, the
+	// loop-execution steady state. Replays exactly the state updates of
+	// the call chain below (ITLB fast hit, then an L1I Lookup fast hit
+	// with markTouched), so counters, clocks and line state are
+	// bit-identical; anything else falls through to the full path.
+	if it := h.ITLB; it.fastVPN == addr>>PageBits+1 {
+		if c := h.L1I; c.fastLine == addr>>LineBits+1 {
+			it.Accesses++
+			it.clock++
+			it.fastEntry.lastUse = it.clock
+			c.Accesses++
+			c.lruClock++
+			l := c.fastWay
+			l.lastUse = c.lruClock
+			l.touched = true
+			l.prefetch = -1
+			h.lastILine = addr &^ (LineSize - 1)
+			return 0
+		}
+	}
 	if !h.ITLB.Lookup(addr) {
 		if h.STLB.Lookup(addr) {
 			bubble += h.Cfg.STLBLatency

@@ -14,6 +14,24 @@ type TLB struct {
 	setMask uint64
 	clock   uint64
 
+	// Single-entry MRU cache: fastVPN is the last hit or inserted vpn
+	// plus one (zero = invalid), fastEntry its entry. The fast path in
+	// Lookup replays exactly the state updates of a scan hit, so LRU
+	// order and counters are bit-identical; Insert repoints it, which
+	// also heals the only way the mapping can go stale (an entry only
+	// changes vpn in Insert).
+	fastVPN   uint64
+	fastEntry *tlbEntry
+
+	// Miss-to-Insert victim stash: a Lookup miss has already scanned the
+	// whole set, so it records the victim Insert's own scan would pick
+	// (same selection rule). missVPN is the missed vpn plus one (zero =
+	// invalid); Insert consumes the stash once. Valid because every set
+	// mutation goes through Insert, which consumes or clobbers the stash,
+	// so a stash always describes the set's current state.
+	missVPN    uint64
+	missVictim int
+
 	Accesses int64
 	Misses   int64
 }
@@ -48,25 +66,60 @@ func NewTLB(name string, entries, ways int) *TLB {
 func (t *TLB) Lookup(addr uint64) bool {
 	t.Accesses++
 	vpn := addr >> PageBits
+	if t.fastVPN == vpn+1 {
+		t.clock++
+		t.fastEntry.lastUse = t.clock
+		return true
+	}
 	set := t.sets[vpn&t.setMask]
 	for i := range set {
 		if set[i].valid && set[i].vpn == vpn {
 			t.clock++
 			set[i].lastUse = t.clock
+			t.fastVPN, t.fastEntry = vpn+1, &set[i]
 			return true
 		}
 	}
 	t.Misses++
+	// Miss: pick the victim the Insert that follows will need (same
+	// selection rule as Insert's scan — on a miss no entry matches, so
+	// the interleaved match checks are vacuous) while the set is hot.
+	// Kept off the hit path: hits pay nothing for the stash.
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+		} else if set[vi].valid && set[i].lastUse < set[vi].lastUse {
+			vi = i
+		}
+	}
+	t.missVPN, t.missVictim = vpn+1, vi
 	return false
 }
 
 // Insert installs a translation, evicting LRU.
 func (t *TLB) Insert(addr uint64) {
 	vpn := addr >> PageBits
+	// Already the MRU entry: the scan below would find it and return
+	// without touching any state, so skip the scan outright.
+	if t.fastVPN == vpn+1 {
+		return
+	}
 	set := t.sets[vpn&t.setMask]
+	if t.missVPN == vpn+1 {
+		// The preceding Lookup miss already picked this set's victim.
+		t.missVPN = 0
+		vi := t.missVictim
+		t.clock++
+		set[vi] = tlbEntry{vpn: vpn, valid: true, lastUse: t.clock}
+		t.fastVPN, t.fastEntry = vpn+1, &set[vi]
+		return
+	}
+	t.missVPN = 0
 	vi := 0
 	for i := range set {
 		if set[i].valid && set[i].vpn == vpn {
+			t.fastVPN, t.fastEntry = vpn+1, &set[i]
 			return
 		}
 		if !set[i].valid {
@@ -77,6 +130,7 @@ func (t *TLB) Insert(addr uint64) {
 	}
 	t.clock++
 	set[vi] = tlbEntry{vpn: vpn, valid: true, lastUse: t.clock}
+	t.fastVPN, t.fastEntry = vpn+1, &set[vi]
 }
 
 // WalkerPool models the page-table walkers (4 in Table III) as a resource

@@ -24,12 +24,33 @@ func (s PFStats) Accuracy() float64 {
 // brought in by a prefetch, whether the main program touched it before it
 // left the last-level cache. The SVR accuracy monitor polls it.
 type Tracker struct {
-	tags  map[uint64]Origin // line address -> origin, only while unused
+	tags map[uint64]Origin // line address -> origin, only while unused
+
+	// lastMiss is a line address known to carry no tag, plus one (zero =
+	// invalid). Demand streams touch the same line many times in a row,
+	// so this single-entry cache removes the map probe from most Touch
+	// calls. Only Mark adds tags, and it invalidates a matching lastMiss.
+	lastMiss uint64
+
 	Stats [NumOrigins]PFStats
 }
 
+// trackerSizeHint pre-sizes the tag map for the steady-state population
+// of outstanding prefetched lines (bounded by the LLC capacity a few
+// thousand lines; runs rarely exceed a few hundred unused tags), so the
+// map does not rehash-grow during the measurement window.
+const trackerSizeHint = 1 << 10
+
 // NewTracker returns an empty tracker.
-func NewTracker() *Tracker { return &Tracker{tags: make(map[uint64]Origin)} }
+func NewTracker() *Tracker { return &Tracker{tags: make(map[uint64]Origin, trackerSizeHint)} }
+
+// Clear drops all outstanding tags in place, keeping the map's storage so
+// a reused tracker does not re-grow it, and zeroes the per-origin stats.
+func (t *Tracker) Clear() {
+	clear(t.tags)
+	t.lastMiss = 0
+	t.Stats = [NumOrigins]PFStats{}
+}
 
 // Mark tags a line fetched from DRAM by a prefetch of the given origin.
 func (t *Tracker) Mark(addr uint64, origin Origin) {
@@ -37,23 +58,38 @@ func (t *Tracker) Mark(addr uint64, origin Origin) {
 	if _, dup := t.tags[lineAddr]; dup {
 		return
 	}
+	if t.lastMiss == lineAddr+1 {
+		t.lastMiss = 0
+	}
 	t.tags[lineAddr] = origin
 	t.Stats[origin].Issued++
 }
 
 // Touch records a demand access: if the line was a pending prefetch it
-// counts as used and the tag is cleared.
+// counts as used and the tag is cleared. The empty-map early-out keeps
+// the per-access map probe off the hot path of prefetch-free machines.
 func (t *Tracker) Touch(addr uint64) {
+	if len(t.tags) == 0 {
+		return
+	}
 	lineAddr := addr &^ (LineSize - 1)
+	if t.lastMiss == lineAddr+1 {
+		return
+	}
 	if o, ok := t.tags[lineAddr]; ok {
 		t.Stats[o].Used++
 		delete(t.tags, lineAddr)
 	}
+	// Tagged or not, the line carries no tag now.
+	t.lastMiss = lineAddr + 1
 }
 
 // Evict records an LLC eviction: an untouched prefetched line counts
 // against accuracy.
 func (t *Tracker) Evict(addr uint64) {
+	if len(t.tags) == 0 {
+		return
+	}
 	lineAddr := addr &^ (LineSize - 1)
 	if o, ok := t.tags[lineAddr]; ok {
 		t.Stats[o].EvictedUnused++

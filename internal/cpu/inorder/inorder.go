@@ -61,6 +61,9 @@ type Core struct {
 	Tracer    trace.Tracer // optional pipeline event tracing
 
 	slot        int64 // issue-slot cursor (cycle*Width + slot index)
+	width       int64 // Cfg.Width, hoisted for the per-issue conversions
+	fWidth      float64
+	invWidth    float64 // 1/Width, the per-slot CPI-stack increment
 	regReady    [isa.NumRegs]int64
 	regReason   [isa.NumRegs]stats.StallReason
 	flagsReady  int64
@@ -68,6 +71,11 @@ type Core struct {
 	memPortFree []int64
 	storeBuf    []int64 // drain-complete time per store-buffer entry
 	sb          []sbEntry
+	// sbMin is a conservative lower bound on the scoreboard's earliest
+	// completion (stale-low is fine): pruning is a guaranteed no-op while
+	// sbMin exceeds the prune horizon, which keeps the per-issue
+	// compaction scan off the hot path.
+	sbMin int64
 
 	startCycle  int64
 	maxComplete int64
@@ -97,6 +105,10 @@ func New(cfg Config, h *cache.Hierarchy) *Core {
 		BP:          bpred.New(cfg.BPredTableBits),
 		memPortFree: make([]int64, cfg.MemPorts),
 		storeBuf:    make([]int64, sbuf),
+		width:       int64(cfg.Width),
+		fWidth:      float64(cfg.Width),
+		invWidth:    1 / float64(cfg.Width),
+		sbMin:       int64(1) << 62,
 	}
 	r := h.Reg
 	r.Uint64("core.instrs", "instructions committed", &c.Instrs)
@@ -117,7 +129,15 @@ func New(cfg Config, h *cache.Hierarchy) *Core {
 	return c
 }
 
-func (c *Core) cycleOf(slot int64) int64 { return slot / int64(c.Cfg.Width) }
+// cycleOf converts an issue-slot index to a cycle. The default width is
+// special-cased so the hot per-issue conversions compile to a
+// constant-divisor multiply instead of a hardware divide.
+func (c *Core) cycleOf(slot int64) int64 {
+	if c.width == 3 {
+		return slot / 3
+	}
+	return slot / int64(c.Cfg.Width)
+}
 
 func levelReason(l cache.Level) stats.StallReason {
 	switch l {
@@ -137,6 +157,7 @@ const CodeBase = 0x4000_0000
 // Issue runs one dynamic instruction through the pipeline model.
 func (c *Core) Issue(rec *emu.DynInstr) {
 	in := rec.Instr
+	kind := in.Kind() // IsMem/IsBranch below are derived from Kind
 	cursor := c.slot
 	earliest := c.cycleOf(cursor)
 	cause := stats.StallBase
@@ -162,7 +183,7 @@ func (c *Core) Issue(rec *emu.DynInstr) {
 		}
 	}
 	// Branches read the flags.
-	if in.IsBranch() && c.flagsReady > earliest {
+	if kind == isa.KindBranch && c.flagsReady > earliest {
 		earliest = c.flagsReady
 		cause = stats.StallOther
 	}
@@ -186,7 +207,7 @@ func (c *Core) Issue(rec *emu.DynInstr) {
 
 	// Memory port for loads and stores.
 	memPort := -1
-	if in.IsMem() {
+	if kind == isa.KindLoad || kind == isa.KindStore {
 		for i := range c.memPortFree {
 			if memPort < 0 || c.memPortFree[i] < c.memPortFree[memPort] {
 				memPort = i
@@ -200,9 +221,11 @@ func (c *Core) Issue(rec *emu.DynInstr) {
 
 	// Claim the issue slot.
 	slot := cursor
-	if es := earliest * int64(c.Cfg.Width); es > slot {
+	if es := earliest * c.width; es > slot {
 		// Stalled: attribute the whole gap to the binding constraint.
-		c.Stack.Add(cause, float64(es-slot)/float64(c.Cfg.Width))
+		// (Division, not multiply-by-reciprocal: the quotient must round
+		// identically to the original expression.)
+		c.Stack.Add(cause, float64(es-slot)/c.fWidth)
 		slot = es
 	}
 	issueAt := c.cycleOf(slot)
@@ -210,13 +233,13 @@ func (c *Core) Issue(rec *emu.DynInstr) {
 	if memPort >= 0 {
 		c.memPortFree[memPort] = issueAt + 1
 	}
-	c.Stack.Add(stats.StallBase, 1/float64(c.Cfg.Width))
+	c.Stack.Add(stats.StallBase, c.invWidth)
 
 	// Execute.
 	complete := issueAt + 1
 	reason := stats.StallOther
 	level := cache.LevelL1
-	switch in.Kind() {
+	switch kind {
 	case isa.KindLoad:
 		res := c.H.Access(rec.PC, rec.Addr, false, issueAt)
 		complete = res.CompleteAt
@@ -272,6 +295,9 @@ func (c *Core) Issue(rec *emu.DynInstr) {
 	}
 
 	c.sb = append(c.sb, sbEntry{completeAt: complete, reason: reason})
+	if complete < c.sbMin {
+		c.sbMin = complete
+	}
 	if complete > c.maxComplete {
 		c.maxComplete = complete
 	}
@@ -304,13 +330,21 @@ func (c *Core) setReg(r isa.Reg, ready int64, reason stats.StallReason) {
 }
 
 func (c *Core) pruneScoreboard(at int64) {
+	if c.sbMin > at {
+		return // nothing to drop; compaction would be a no-op
+	}
 	keep := c.sb[:0]
+	newMin := int64(1) << 62
 	for _, e := range c.sb {
 		if e.completeAt > at {
 			keep = append(keep, e)
+			if e.completeAt < newMin {
+				newMin = e.completeAt
+			}
 		}
 	}
 	c.sb = keep
+	c.sbMin = newMin
 }
 
 // Now returns the core's current issue-cursor cycle; the multi-core

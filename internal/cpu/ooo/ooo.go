@@ -55,8 +55,8 @@ type Core struct {
 
 	dispatchSlot int64   // front-end cursor, slot units
 	commitSlot   int64   // in-order commit cursor, slot units
-	rob          []int64 // FIFO of commit times of in-flight entries
-	lsq          []int64 // FIFO of commit times of in-flight mem ops
+	rob          ring    // FIFO of commit times of in-flight entries
+	lsq          ring    // FIFO of commit times of in-flight mem ops
 	rs           []int64 // issue times of entries occupying the reservation station
 	regReady     [isa.NumRegs]int64
 	regReason    [isa.NumRegs]stats.StallReason
@@ -84,6 +84,9 @@ func New(cfg Config, h *cache.Hierarchy) *Core {
 		Cfg:         cfg,
 		H:           h,
 		BP:          bpred.New(cfg.BPredTableBits),
+		rob:         newRing(cfg.ROB),
+		lsq:         newRing(cfg.LSQ),
+		rs:          make([]int64, 0, cfg.RS),
 		memPortFree: make([]int64, cfg.MemPorts),
 		storeReady:  make(map[uint64]int64),
 	}
@@ -131,21 +134,17 @@ func (c *Core) Issue(rec *emu.DynInstr) {
 	if fr := c.fetchReady * int64(c.Cfg.Width); fr > dSlot {
 		dSlot = fr
 	}
-	if len(c.rob) >= c.Cfg.ROB {
-		oldest := c.rob[0]
-		c.rob = c.rob[1:]
+	if c.rob.len >= c.Cfg.ROB {
+		oldest := c.rob.pop()
 		if os := oldest * int64(c.Cfg.Width); os > dSlot {
 			dSlot = os
 		}
 	}
-	if in.IsMem() && len(c.lsq) >= c.Cfg.LSQ {
-		oldest := c.lsq[0]
-		c.lsq = c.lsq[1:]
+	if in.IsMem() && c.lsq.len >= c.Cfg.LSQ {
+		oldest := c.lsq.pop()
 		if os := oldest * int64(c.Cfg.Width); os > dSlot {
 			dSlot = os
 		}
-	} else if in.IsMem() {
-		// Keep LSQ FIFO trimmed to entries still in flight.
 	}
 	// Reservation station: entries occupy a slot from dispatch until
 	// they issue; a full RS stalls dispatch until the earliest issue.
@@ -274,9 +273,9 @@ func (c *Core) Issue(rec *emu.DynInstr) {
 	c.commitSlot = cSlot
 	commitTime := c.cycleOf(cSlot)
 
-	c.rob = append(c.rob, commitTime)
+	c.rob.push(commitTime)
 	if in.IsMem() {
-		c.lsq = append(c.lsq, commitTime)
+		c.lsq.push(commitTime)
 	}
 	c.rs = append(c.rs, ready)
 	c.Instrs++
@@ -288,6 +287,38 @@ func (c *Core) Issue(rec *emu.DynInstr) {
 		c.Tracer.Emit(trace.Event{Kind: trace.KindComplete, Seq: rec.Seq, PC: rec.PC,
 			Cycle: complete, Text: "commit"})
 	}
+}
+
+// ring is a fixed-capacity int64 FIFO: the ROB and LSQ occupancy FIFOs
+// are bounded by their configured sizes, so a ring keeps the dispatch
+// path allocation-free (append+reslice-front churns the backing array
+// with a fresh allocation every capacity-filling wraparound).
+type ring struct {
+	buf  []int64
+	head int
+	len  int
+}
+
+func newRing(capacity int) ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return ring{buf: make([]int64, capacity)}
+}
+
+func (r *ring) push(v int64) {
+	if r.len == len(r.buf) {
+		panic("ooo: ring overflow")
+	}
+	r.buf[(r.head+r.len)%len(r.buf)] = v
+	r.len++
+}
+
+func (r *ring) pop() int64 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.len--
+	return v
 }
 
 // pruneRS drops reservation-station entries that issued at or before at.

@@ -72,7 +72,16 @@ func (c *CPU) Step(rec *DynInstr) bool {
 		return false
 	}
 	in := c.Prog.Code[c.PC]
-	*rec = DynInstr{Seq: c.seq, PC: c.PC, Instr: in}
+	// Field-wise reset instead of `*rec = DynInstr{...}`: only Addr,
+	// LoadVal and Taken survive from the previous record (the rest is
+	// unconditionally assigned below), so clearing just those three avoids
+	// re-zeroing the whole record on every instruction.
+	rec.Seq = c.seq
+	rec.PC = c.PC
+	rec.Instr = in
+	rec.Addr = 0
+	rec.LoadVal = 0
+	rec.Taken = false
 	c.seq++
 	nextPC := c.PC + 1
 

@@ -26,3 +26,54 @@ func FuzzReadWrite(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCOWAliasing: a clone must observe the parent's data, and writes on
+// either side of the clone boundary must stay invisible to the other —
+// including page-straddling writes, which touch two COW pages at once.
+func FuzzCOWAliasing(f *testing.F) {
+	f.Add(uint64(0), uint64(1), uint64(2))
+	f.Add(uint64(PageSize-4), uint64(0x1111111111111111), uint64(0x2222222222222222))
+	f.Add(uint64(3*PageSize-1), uint64(0xa5a5a5a5a5a5a5a5), uint64(0x5a5a5a5a5a5a5a5a))
+	f.Fuzz(func(t *testing.T, addr, parentVal, childVal uint64) {
+		addr &= 1<<40 - 1 // bound the page directory
+
+		parent := New()
+		parent.Write(addr, parentVal, 8)
+		child := parent.Clone()
+
+		// The clone sees the parent's image.
+		if got := child.Read(addr, 8); got != parentVal {
+			t.Fatalf("clone does not alias parent: want %#x, got %#x", parentVal, got)
+		}
+
+		// Child writes (same spot and one page up, both possibly
+		// page-straddling) stay invisible to the parent.
+		child.Write(addr, childVal, 8)
+		child.Write(addr+PageSize, childVal, 8)
+		if got := parent.Read(addr, 8); got != parentVal {
+			t.Fatalf("child write leaked into parent: want %#x, got %#x", parentVal, got)
+		}
+		if got := parent.Read(addr+PageSize, 8); got != 0 {
+			t.Fatalf("child write leaked into parent's second page: got %#x", got)
+		}
+		if got := child.Read(addr, 8); got != childVal {
+			t.Fatalf("child lost its own write: want %#x, got %#x", childVal, got)
+		}
+
+		// Parent writes after the clone stay invisible to the child.
+		parent.Write(addr, parentVal^0xffff, 8)
+		if got := child.Read(addr, 8); got != childVal {
+			t.Fatalf("parent write leaked into child: want %#x, got %#x", childVal, got)
+		}
+
+		// A second clone taken now must see the parent's current image,
+		// not the first child's.
+		sibling := parent.Clone()
+		if got := sibling.Read(addr, 8); got != parentVal^0xffff {
+			t.Fatalf("sibling sees stale data: want %#x, got %#x", parentVal^0xffff, got)
+		}
+		if got := sibling.Read(addr+PageSize, 8); got != 0 {
+			t.Fatalf("sibling sees child data: got %#x", got)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // PageBits is the log2 of the backing-page size (not the architectural
@@ -19,18 +20,59 @@ const PageSize = 1 << PageBits
 
 const pageMask = PageSize - 1
 
+// The page directory is a two-level radix tree over page numbers: the
+// root indexes bits [leafBits, leafBits+rootBits) of the page number and
+// each leaf holds 1<<leafBits page pointers. Together with the 16 page
+// bits it maps the low 1 TiB of the address space with two dependent
+// loads; the rare addresses above that (wild speculative pointers) fall
+// back to a map.
+const (
+	leafBits  = 12
+	rootBits  = 12
+	leafSize  = 1 << leafBits
+	rootSize  = 1 << rootBits
+	radixPN   = 1 << (leafBits + rootBits) // first page number outside the radix
+	leafShift = leafBits
+	leafMask  = leafSize - 1
+)
+
+// page is one backing page. Pages are shared between a Memory and its
+// clones: owner identifies the Memory allowed to write the data in place,
+// and nil marks a page frozen by Clone — any writer must copy it first
+// (copy-on-write). The data array is embedded so a page costs one
+// allocation and one pointer chase.
+type page struct {
+	data  [PageSize]byte
+	owner *Memory
+}
+
+type leaf [leafSize]*page
+
 // Memory is a sparse, paged memory image. The zero value is not usable;
 // call New.
 type Memory struct {
-	pages map[uint64][]byte
-	brk   uint64 // allocation cursor for Alloc
+	root     []*leaf          // two-level radix directory for pn < radixPN
+	overflow map[uint64]*page // pages above the radix span, lazily allocated
+	brk      uint64           // allocation cursor for Alloc
+
+	// Single-entry last-page cache: lastPN is the cached page number
+	// plus one (zero means invalid), so the hot compare needs no
+	// separate valid bit.
+	lastPN   uint64
+	lastPage *page
+
+	// mu serializes Clone against concurrent Clones of the same image
+	// (the experiment scheduler clones one master per cell from many
+	// goroutines). It is not taken on the access paths: a Memory may be
+	// read and written by only one goroutine at a time.
+	mu sync.Mutex
 }
 
 // New returns an empty memory image. Allocation starts at a non-zero base
 // so that address 0 is never handed out (nil-pointer-like bugs in kernels
 // then fault loudly in tests rather than aliasing array 0).
 func New() *Memory {
-	return &Memory{pages: make(map[uint64][]byte), brk: 0x10000}
+	return &Memory{root: make([]*leaf, rootSize), brk: 0x10000}
 }
 
 // Alloc reserves n bytes aligned to align (a power of two) and returns the
@@ -50,35 +92,142 @@ func (m *Memory) Alloc(n uint64, align uint64) uint64 {
 // Brk returns the current allocation cursor (total footprint high-water mark).
 func (m *Memory) Brk() uint64 { return m.brk }
 
-func (m *Memory) page(addr uint64) []byte {
-	pn := addr >> PageBits
-	p := m.pages[pn]
-	if p == nil {
-		p = make([]byte, PageSize)
-		m.pages[pn] = p
+// find returns the page for pn, or nil if never touched.
+func (m *Memory) find(pn uint64) *page {
+	if pn < radixPN {
+		l := m.root[pn>>leafShift]
+		if l == nil {
+			return nil
+		}
+		return l[pn&leafMask]
 	}
+	return m.overflow[pn]
+}
+
+// install points the directory entry for pn at p.
+func (m *Memory) install(pn uint64, p *page) {
+	if pn < radixPN {
+		li := pn >> leafShift
+		l := m.root[li]
+		if l == nil {
+			l = new(leaf)
+			m.root[li] = l
+		}
+		l[pn&leafMask] = p
+	} else {
+		if m.overflow == nil {
+			m.overflow = make(map[uint64]*page)
+		}
+		m.overflow[pn] = p
+	}
+}
+
+// readPage returns the page containing addr for reading, allocating a
+// zero page on first touch.
+func (m *Memory) readPage(addr uint64) *page {
+	pn := addr >> PageBits
+	if m.lastPN == pn+1 {
+		return m.lastPage
+	}
+	p := m.find(pn)
+	if p == nil {
+		p = &page{owner: m}
+		m.install(pn, p)
+	}
+	m.lastPN, m.lastPage = pn+1, p
 	return p
 }
 
-// Clone returns a deep copy of the memory image. The simulation harness
-// builds each workload once and clones the image per machine
-// configuration, since timing runs mutate memory through stores.
-func (m *Memory) Clone() *Memory {
-	c := &Memory{pages: make(map[uint64][]byte, len(m.pages)), brk: m.brk}
-	for pn, p := range m.pages {
-		np := make([]byte, PageSize)
-		copy(np, p)
-		c.pages[pn] = np
+// writePage returns the page containing addr for writing: it allocates on
+// first touch and copies a page shared with a clone (or a parent) before
+// handing it out, so writes never reach a page another Memory can see.
+func (m *Memory) writePage(addr uint64) *page {
+	pn := addr >> PageBits
+	var p *page
+	if m.lastPN == pn+1 {
+		p = m.lastPage
+	} else {
+		p = m.find(pn)
 	}
+	if p == nil {
+		p = &page{owner: m}
+		m.install(pn, p)
+	} else if p.owner != m {
+		np := &page{data: p.data, owner: m}
+		m.install(pn, np)
+		p = np
+	}
+	m.lastPN, m.lastPage = pn+1, p
+	return p
+}
+
+// Clone returns a copy-on-write clone of the memory image. The directory
+// is copied (O(pages touched), not O(image bytes)) and every page becomes
+// shared: the first write to a shared page — through the clone or the
+// parent — copies just that page. The simulation harness builds each
+// workload once and clones the image per machine configuration, since
+// timing runs mutate memory through stores.
+//
+// Clone may be called for the same parent from several goroutines at
+// once (the cell-parallel scheduler does); the pages it freezes are
+// published to the clones under the parent's lock. The clone itself, like
+// any Memory, must only be used by one goroutine at a time.
+func (m *Memory) Clone() *Memory {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &Memory{root: make([]*leaf, rootSize), brk: m.brk}
+	for li, l := range m.root {
+		if l == nil {
+			continue
+		}
+		nl := new(leaf)
+		for i, p := range l {
+			if p == nil {
+				continue
+			}
+			if p.owner != nil {
+				p.owner = nil // freeze: both sides now copy on write
+			}
+			nl[i] = p
+		}
+		c.root[li] = nl
+	}
+	if m.overflow != nil {
+		c.overflow = make(map[uint64]*page, len(m.overflow))
+		for pn, p := range m.overflow {
+			if p.owner != nil {
+				p.owner = nil
+			}
+			c.overflow[pn] = p
+		}
+	}
+	// The parent's cached page may now be frozen; the cache carries no
+	// writability claim (writePage rechecks owner), so it stays valid.
 	return c
+}
+
+// Pages returns the number of distinct backing pages touched so far.
+func (m *Memory) Pages() int {
+	n := len(m.overflow)
+	for _, l := range m.root {
+		if l == nil {
+			continue
+		}
+		for _, p := range l {
+			if p != nil {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // ReadBytes copies len(dst) bytes starting at addr into dst.
 func (m *Memory) ReadBytes(addr uint64, dst []byte) {
 	for len(dst) > 0 {
-		p := m.page(addr)
+		p := m.readPage(addr)
 		off := addr & pageMask
-		n := copy(dst, p[off:])
+		n := copy(dst, p.data[off:])
 		dst = dst[n:]
 		addr += uint64(n)
 	}
@@ -87,9 +236,9 @@ func (m *Memory) ReadBytes(addr uint64, dst []byte) {
 // WriteBytes copies src into memory starting at addr.
 func (m *Memory) WriteBytes(addr uint64, src []byte) {
 	for len(src) > 0 {
-		p := m.page(addr)
+		p := m.writePage(addr)
 		off := addr & pageMask
-		n := copy(p[off:], src)
+		n := copy(p.data[off:], src)
 		src = src[n:]
 		addr += uint64(n)
 	}
@@ -99,16 +248,16 @@ func (m *Memory) WriteBytes(addr uint64, src []byte) {
 // size must be 1, 2, 4 or 8.
 func (m *Memory) Read(addr uint64, size uint8) uint64 {
 	if off := addr & pageMask; off+uint64(size) <= PageSize {
-		p := m.page(addr)
+		p := m.readPage(addr)
 		switch size {
 		case 1:
-			return uint64(p[off])
+			return uint64(p.data[off])
 		case 2:
-			return uint64(binary.LittleEndian.Uint16(p[off:]))
+			return uint64(binary.LittleEndian.Uint16(p.data[off:]))
 		case 4:
-			return uint64(binary.LittleEndian.Uint32(p[off:]))
+			return uint64(binary.LittleEndian.Uint32(p.data[off:]))
 		case 8:
-			return binary.LittleEndian.Uint64(p[off:])
+			return binary.LittleEndian.Uint64(p.data[off:])
 		}
 	}
 	// Page-straddling access: slow path.
@@ -130,19 +279,19 @@ func (m *Memory) Read(addr uint64, size uint8) uint64 {
 // Write stores the low size bytes of val at addr.
 func (m *Memory) Write(addr uint64, val uint64, size uint8) {
 	if off := addr & pageMask; off+uint64(size) <= PageSize {
-		p := m.page(addr)
+		p := m.writePage(addr)
 		switch size {
 		case 1:
-			p[off] = byte(val)
+			p.data[off] = byte(val)
 			return
 		case 2:
-			binary.LittleEndian.PutUint16(p[off:], uint16(val))
+			binary.LittleEndian.PutUint16(p.data[off:], uint16(val))
 			return
 		case 4:
-			binary.LittleEndian.PutUint32(p[off:], uint32(val))
+			binary.LittleEndian.PutUint32(p.data[off:], uint32(val))
 			return
 		case 8:
-			binary.LittleEndian.PutUint64(p[off:], val)
+			binary.LittleEndian.PutUint64(p.data[off:], val)
 			return
 		}
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/workloads"
@@ -58,6 +59,37 @@ func TestTimingDeterminism(t *testing.T) {
 			a.DRAMLoads != b.DRAMLoads {
 			t.Errorf("%s: nondeterministic simulation: %+v vs %+v", name, a.Cycles, b.Cycles)
 		}
+	}
+}
+
+// TestSchedulerCellDeterminism runs the same scheduler cell twice with
+// the run cache disabled and requires the two Results — every counter,
+// every CPI-stack component, and the full metrics snapshot — to be deeply
+// equal. This is the strong form of TestTimingDeterminism: it would catch
+// nondeterminism that happens to leave the headline cycle count intact
+// (map iteration order leaking into a counter, a fast path updating
+// different state than the slow path it shadows, pool reuse carrying
+// stale state between cells).
+func TestSchedulerCellDeterminism(t *testing.T) {
+	defer SetRunCacheEnabled(SetRunCacheEnabled(false))
+	spec, err := workloads.Get("Randacc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() Result {
+		rs := runMatrix([]Config{SVRConfig(16)}, []workloads.Spec{spec}, QuickParams())
+		res, ok := rs.Get("SVR16", "Randacc")
+		if !ok {
+			t.Fatal("cell missing from result set")
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("scheduler cell is not reproducible:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+	if a.Metrics.IsZero() {
+		t.Error("cell result carries no metrics snapshot; determinism check is vacuous")
 	}
 }
 

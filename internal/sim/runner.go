@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/mem"
 	"repro/internal/workloads"
 )
 
@@ -109,6 +110,7 @@ type CellEvent struct {
 	Workload string        // workload name
 	Cached   bool          // served from the run cache
 	Wall     time.Duration // wall time spent on the cell
+	Instrs   uint64        // instructions the cell simulated (its Result's window)
 	Done     int           // cells finished in the current matrix
 	Cells    int           // total cells of the current matrix
 }
@@ -209,7 +211,8 @@ func (rs *ResultSet) JSON() ([]byte, error) {
 
 // masterEntry shares one workload build across the cells that need it.
 // The build is lazy — a workload whose every cell hits the cache is never
-// built — and the image is released once its last cell finishes.
+// built — and the matrix-local reference is released once its last cell
+// finishes (the process-wide build cache may retain the image longer).
 type masterEntry struct {
 	once      sync.Once
 	inst      *workloads.Instance
@@ -217,8 +220,79 @@ type masterEntry struct {
 }
 
 func (e *masterEntry) instance(spec workloads.Spec, sc workloads.Scale) *workloads.Instance {
-	e.once.Do(func() { e.inst = spec.Build(sc) })
+	e.once.Do(func() { e.inst = cachedBuild(spec, sc) })
 	return e.inst
+}
+
+// buildKey identifies one deterministic workload image: builds are pure
+// functions of (generator, scale), so name+scale is a content key.
+type buildKey struct {
+	name  string
+	scale workloads.Scale
+}
+
+// buildCache memoizes workload images across scheduler invocations. A
+// sweep like `svrsim all` runs ~15 experiments over largely the same
+// workload set; without the cache every matrix re-runs the same Kronecker
+// generation and sorting. Copy-on-write Clone makes retention safe: cells
+// clone the image and never write the master, so a cached image stays
+// pristine. The cache is byte-budgeted (LRU) so paper-scale images cannot
+// pile up without bound.
+var buildCache = struct {
+	sync.Mutex
+	m     map[buildKey]*workloads.Instance
+	order []buildKey // LRU order, least recently used first
+	bytes int64
+	limit int64
+}{m: map[buildKey]*workloads.Instance{}, limit: 512 << 20}
+
+func instanceBytes(inst *workloads.Instance) int64 {
+	return int64(inst.Mem.Pages()) * mem.PageSize
+}
+
+// touchBuild moves k to the most-recently-used end of the LRU order.
+func touchBuild(k buildKey) {
+	for i, o := range buildCache.order {
+		if o == k {
+			copy(buildCache.order[i:], buildCache.order[i+1:])
+			buildCache.order[len(buildCache.order)-1] = k
+			return
+		}
+	}
+}
+
+// cachedBuild returns the memoized image for (spec, sc), building it on a
+// miss. Matrices run sequentially, so a key is never built twice
+// concurrently; within one matrix each workload is guarded by its
+// masterEntry's sync.Once.
+func cachedBuild(spec workloads.Spec, sc workloads.Scale) *workloads.Instance {
+	k := buildKey{name: spec.Name, scale: sc}
+	buildCache.Lock()
+	if inst, ok := buildCache.m[k]; ok {
+		touchBuild(k)
+		buildCache.Unlock()
+		return inst
+	}
+	buildCache.Unlock()
+
+	inst := spec.Build(sc)
+
+	buildCache.Lock()
+	defer buildCache.Unlock()
+	if prev, ok := buildCache.m[k]; ok { // lost a (cross-matrix) race
+		touchBuild(k)
+		return prev
+	}
+	buildCache.m[k] = inst
+	buildCache.order = append(buildCache.order, k)
+	buildCache.bytes += instanceBytes(inst)
+	for buildCache.bytes > buildCache.limit && len(buildCache.order) > 1 {
+		victim := buildCache.order[0]
+		buildCache.order = buildCache.order[1:]
+		buildCache.bytes -= instanceBytes(buildCache.m[victim])
+		delete(buildCache.m, victim)
+	}
+	return inst
 }
 
 // cloneInstance copies the memory image so a run (which mutates memory
@@ -302,7 +376,7 @@ func runMatrix(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet {
 			}
 			done++
 			ev := CellEvent{Label: cfg.Label, Workload: spec.Name, Cached: cached,
-				Wall: wall, Done: done, Cells: len(cells)}
+				Wall: wall, Instrs: res.Instrs, Done: done, Cells: len(cells)}
 			mu.Unlock()
 			emitProgress(ev)
 		}()
