@@ -18,6 +18,8 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cpu/inorder"
@@ -68,6 +70,8 @@ func dispatch(w io.Writer, cmd string, args []string) error {
 		return cmdDisasm(w, args)
 	case "trace":
 		return cmdTrace(w, args)
+	case "timeline":
+		return cmdTimeline(w, args)
 	case "compare":
 		return cmdCompare(w, args)
 	case "bench":
@@ -89,6 +93,7 @@ func usage() {
   svrsim metrics <name> [flags]    full metric registry of one run
   svrsim disasm <workload>         print a kernel's assembly
   svrsim trace <workload> [flags]  dump pipeline + runahead events
+  svrsim timeline <workload> [fl.] export a traced window as a Perfetto timeline
   svrsim compare <workload>        one workload on every machine, side by side
   svrsim bench [flags]             time the simulator itself on the cold grid
 
@@ -101,6 +106,14 @@ run/all flags:
   -workloads a,b,c   restrict to named workloads
   -measure N         measured instructions per run
   -warmup N          warmup instructions per run
+  -timeseries F      sample every cell's counters into a per-interval CSV at F
+  -sample N          sampling interval in instructions (default 100000)
+  -status ADDR       serve live scheduler status on ADDR (/status, expvar, pprof)
+
+timeline flags:
+  -o F               output path, - for stdout (default trace.json)
+  -format F          chrome (Perfetto-loadable JSON) or jsonl
+  -skip / -window    position the traced window; -n sets SVR vector length
 
 bench flags:
   -out F             bench report JSON path (default BENCH_PR3.json)
@@ -127,6 +140,9 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 	wls := fs.String("workloads", "", "comma-separated workload filter")
 	measure := fs.Uint64("measure", 0, "measured instructions")
 	warmup := fs.Uint64("warmup", 0, "warmup instructions")
+	tsF := fs.String("timeseries", "", "write per-interval counter samples of every cell to this CSV")
+	sampleF := fs.Uint64("sample", 100_000, "sampling interval in instructions (with -timeseries)")
+	statusF := fs.String("status", "", "serve live scheduler status on this address (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return sim.ExpParams{}, nil, err
 	}
@@ -147,13 +163,20 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 	jsonMode = *jsonF || *metricsF // -metrics is JSON output with snapshots
 	metricsMode = *metricsF
 	coldMode = *coldF
+	timeseriesPath = *tsF
+	statusAddr = *statusF
+	if timeseriesPath != "" {
+		p.SampleEvery = *sampleF
+	}
 	return p, fs.Args(), nil
 }
 
 // csvMode / jsonMode switch run/all output format; metricsMode adds
-// per-cell metric snapshots to the JSON; coldMode disables the run cache
-// (all set by expFlags).
+// per-cell metric snapshots to the JSON; coldMode disables the run cache;
+// timeseriesPath collects per-cell interval samples into a CSV;
+// statusAddr serves the live scheduler status (all set by expFlags).
 var csvMode, jsonMode, metricsMode, coldMode bool
+var timeseriesPath, statusAddr string
 
 func printReport(w io.Writer, r *sim.Report) error {
 	if jsonMode {
@@ -172,9 +195,28 @@ func printReport(w io.Writer, r *sim.Report) error {
 	return nil
 }
 
+// progressMu serializes the \r-overwritten stderr progress line between
+// the per-cell hook and the periodic ticker.
+var progressMu sync.Mutex
+
+// statusSuffix renders the live scheduler rate/ETA tail of the progress
+// line, empty until the scheduler has something to project from.
+func statusSuffix() string {
+	st := sim.CurrentStatus()
+	if !st.Active || st.Rate <= 0 {
+		return ""
+	}
+	s := fmt.Sprintf(", %.1fM instr/s", st.Rate/1e6)
+	if st.ETA > 0 {
+		s += fmt.Sprintf(", ETA %s", st.ETA.Round(time.Second))
+	}
+	return s
+}
+
 // progressPrinter reports scheduler progress on stderr as experiments
-// run: cells completed, served from cache, and remaining. curExp names
-// the experiment whose matrix is in flight.
+// run: cells completed, served from cache, remaining, and the live
+// instruction rate / ETA. curExp names the experiment whose matrix is in
+// flight.
 func progressPrinter(curExp *string) func(sim.CellEvent) {
 	cached := 0
 	return func(ev sim.CellEvent) {
@@ -184,30 +226,98 @@ func progressPrinter(curExp *string) func(sim.CellEvent) {
 		if ev.Cached {
 			cached++
 		}
-		fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells (%d cached, %d remaining)",
-			*curExp, ev.Done, ev.Cells, cached, ev.Cells-ev.Done)
+		progressMu.Lock()
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells (%d cached, %d remaining%s)",
+			*curExp, ev.Done, ev.Cells, cached, ev.Cells-ev.Done, statusSuffix())
 		if ev.Done == ev.Cells {
 			fmt.Fprintln(os.Stderr)
 		}
+		progressMu.Unlock()
 	}
 }
 
-// applyRunFlags activates -cold and progress reporting for run/all; the
-// returned cleanup restores the process-wide state.
+// startProgressTicker redraws a scheduler-state line every couple of
+// seconds so long cells still show liveness (the per-cell hook only fires
+// on completion). The returned stop function ends the goroutine.
+func startProgressTicker(curExp *string) func() {
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(2 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				st := sim.CurrentStatus()
+				if !st.Active {
+					continue
+				}
+				progressMu.Lock()
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d done (%d queued, %d building, %d running%s)",
+					*curExp, st.Done, st.Cells, st.Queued, st.Building, st.Running, statusSuffix())
+				progressMu.Unlock()
+			}
+		}
+	}()
+	return func() { close(stop) }
+}
+
+// applyRunFlags activates -cold, -timeseries, -status and progress
+// reporting for run/all; the returned cleanup restores the process-wide
+// state.
 func applyRunFlags(curExp *string) func() {
 	prevCache := true
 	if coldMode {
 		prevCache = sim.SetRunCacheEnabled(false)
 	}
 	prevMetrics := sim.SetCellMetrics(metricsMode)
+	prevSeries := sim.SetCellSeries(timeseriesPath != "")
 	sim.SetProgressHook(progressPrinter(curExp))
+	stopTicker := startProgressTicker(curExp)
+	stopStatus := func() {}
+	if statusAddr != "" {
+		bound, shutdown, err := startStatusServer(statusAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svrsim: status server: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "svrsim: status on http://%s/status (also /debug/vars, /debug/pprof)\n",
+				bound)
+			stopStatus = shutdown
+		}
+	}
 	return func() {
+		stopStatus()
+		stopTicker()
 		sim.SetProgressHook(nil)
+		sim.SetCellSeries(prevSeries)
 		sim.SetCellMetrics(prevMetrics)
 		if coldMode {
 			sim.SetRunCacheEnabled(prevCache)
 		}
 	}
+}
+
+// writeSeriesCSV renders collected per-cell time series as one CSV with
+// label/workload prefix columns, for -timeseries.
+func writeSeriesCSV(path string, cells []sim.CellSeries) error {
+	if len(cells) == 0 {
+		return fmt.Errorf("timeseries: no cells produced a series (did every cell come from the cache?)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := cells[0].Series.WriteCSVHeader(f, "label", "workload"); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if err := c.Series.WriteCSVRows(f, c.Label, c.Workload); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func cmdList(w io.Writer) error {
@@ -239,7 +349,14 @@ func cmdRun(w io.Writer, args []string) error {
 	}
 	cleanup := applyRunFlags(&id)
 	defer cleanup()
-	return printReport(w, e.Run(p))
+	r := e.Run(p)
+	if err := printReport(w, r); err != nil {
+		return err
+	}
+	if timeseriesPath != "" {
+		return writeSeriesCSV(timeseriesPath, r.CellSeries)
+	}
+	return nil
 }
 
 func cmdAll(w io.Writer, args []string) error {
@@ -250,15 +367,18 @@ func cmdAll(w io.Writer, args []string) error {
 	var curExp string
 	cleanup := applyRunFlags(&curExp)
 	defer cleanup()
+	var seriesCells []sim.CellSeries
 	if jsonMode {
 		var blobs []json.RawMessage
 		for _, e := range sim.Experiments() {
 			curExp = e.ID
-			blob, err := e.Run(p).JSON()
+			r := e.Run(p)
+			blob, err := r.JSON()
 			if err != nil {
 				return err
 			}
 			blobs = append(blobs, blob)
+			seriesCells = append(seriesCells, r.CellSeries...)
 		}
 		out, err := json.MarshalIndent(blobs, "", "  ")
 		if err != nil {
@@ -268,10 +388,17 @@ func cmdAll(w io.Writer, args []string) error {
 	} else {
 		for _, e := range sim.Experiments() {
 			curExp = e.ID
-			if err := printReport(w, e.Run(p)); err != nil {
+			r := e.Run(p)
+			if err := printReport(w, r); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
+			seriesCells = append(seriesCells, r.CellSeries...)
+		}
+	}
+	if timeseriesPath != "" {
+		if err := writeSeriesCSV(timeseriesPath, seriesCells); err != nil {
+			return err
 		}
 	}
 	hits, misses := sim.RunCacheStats()
@@ -400,6 +527,10 @@ func cmdMetrics(w io.Writer, args []string) error {
 	case "table":
 		fmt.Fprintf(w, "metrics for %s on %s (%d instrs, %d cycles)\n",
 			res.Workload, res.Label, res.Instrs, res.Cycles)
+		if lat, ok := res.Metrics.Histograms["lat.demand.mem"]; ok && lat.Count > 0 {
+			fmt.Fprintf(w, "demand-load latency (DRAM-served): p50~%.0f p99~%.0f cycles over %d loads\n",
+				lat.QuantileEst(0.50), lat.QuantileEst(0.99), lat.Count)
+		}
 		res.Metrics.WriteTable(w)
 	case "prom":
 		res.Metrics.WritePrometheus(w)
@@ -476,7 +607,7 @@ func cmdTrace(w io.Writer, args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	spec, err := workloads.Get(name)
+	spec, err := lookupWorkload(name)
 	if err != nil {
 		return err
 	}

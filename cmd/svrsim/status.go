@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// The -status flag exposes a live view of a long sweep: the scheduler's
+// cell states and instruction rate as JSON, plus the stdlib expvar and
+// pprof surfaces for deeper digging, all on a loopback-bindable listener
+// that dies with the process.
+
+// statusVars publishes the scheduler snapshot under expvar's "scheduler"
+// key. Guarded by a Once: expvar.Publish panics on duplicate names, and
+// tests may start several servers in one process.
+var statusVars sync.Once
+
+// statusSnapshot is the /status payload: the scheduler state plus the
+// run-cache counters.
+type statusSnapshot struct {
+	Scheduler sim.GridStatus
+	RunCache  struct{ Hits, Misses int64 }
+}
+
+func currentSnapshot() statusSnapshot {
+	var s statusSnapshot
+	s.Scheduler = sim.CurrentStatus()
+	s.RunCache.Hits, s.RunCache.Misses = sim.RunCacheStats()
+	return s
+}
+
+// startStatusServer serves /status (JSON scheduler snapshot),
+// /debug/vars (expvar) and /debug/pprof on addr. It returns the bound
+// address (resolving a ":0" port) and a shutdown that closes the
+// listener.
+func startStatusServer(addr string) (bound string, shutdown func(), err error) {
+	statusVars.Do(func() {
+		expvar.Publish("scheduler", expvar.Func(func() any { return currentSnapshot() }))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(currentSnapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

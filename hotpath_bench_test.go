@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/cpu/inorder"
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -99,6 +100,31 @@ func TestHierarchyL1HitDoesNotAllocate(t *testing.T) {
 		at++
 	}); allocs != 0 {
 		t.Fatalf("L1-hit Access allocates %.1f objects per access; the hit path must be allocation-free", allocs)
+	}
+}
+
+// TestCoreStepNoSinkDoesNotAllocate guards the full timed step — emulator
+// step plus in-order issue through the cache hierarchy — with no trace
+// sink attached. Detached observability must cost one nil check, not an
+// allocation, per instruction.
+func TestCoreStepNoSinkDoesNotAllocate(t *testing.T) {
+	h := cache.NewHierarchy(cache.DefaultConfig())
+	core := inorder.New(inorder.DefaultConfig(), h)
+	cpu := emu.New(stepProg(), mem.New())
+	if core.Tracer != nil {
+		t.Fatal("core starts with a tracer attached")
+	}
+	// Warm: fault in the kernel's pages and settle the caches so the timed
+	// runs measure steady state, not first-touch fills.
+	core.Run(cpu, 1<<15)
+	// The instruction record lives outside the closure, as it does across
+	// the iterations of Core.Run's loop.
+	var rec emu.DynInstr
+	if allocs := testing.AllocsPerRun(1000, func() {
+		cpu.Step(&rec)
+		core.Issue(&rec)
+	}); allocs != 0 {
+		t.Fatalf("core step with no sink allocates %.1f objects per instruction; the detached-tracer path must be allocation-free", allocs)
 	}
 }
 

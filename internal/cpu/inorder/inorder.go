@@ -306,7 +306,7 @@ func (c *Core) Issue(rec *emu.DynInstr) {
 
 	if c.Tracer != nil {
 		c.Tracer.Emit(trace.Event{Kind: trace.KindIssue, Seq: rec.Seq, PC: rec.PC,
-			Cycle: issueAt, Text: in.String()})
+			Cycle: issueAt, Text: in.String(), Arg: slot % c.width})
 		if in.Kind() == isa.KindLoad {
 			c.Tracer.Emit(trace.Event{Kind: trace.KindComplete, Seq: rec.Seq, PC: rec.PC,
 				Cycle: complete, Text: level.String(), Arg: int64(rec.Addr)})

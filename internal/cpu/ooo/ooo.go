@@ -283,7 +283,7 @@ func (c *Core) Issue(rec *emu.DynInstr) {
 
 	if c.Tracer != nil {
 		c.Tracer.Emit(trace.Event{Kind: trace.KindIssue, Seq: rec.Seq, PC: rec.PC,
-			Cycle: ready, Text: in.String()})
+			Cycle: ready, Text: in.String(), Arg: dSlot % int64(c.Cfg.Width)})
 		c.Tracer.Emit(trace.Event{Kind: trace.KindComplete, Seq: rec.Seq, PC: rec.PC,
 			Cycle: complete, Text: "commit"})
 	}

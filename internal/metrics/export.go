@@ -85,8 +85,8 @@ func (s Snapshot) WriteTable(w io.Writer) {
 		switch d.Kind {
 		case KindHistogram:
 			h := s.Histograms[d.Name]
-			fmt.Fprintf(w, "%-*s  count=%d mean=%.1f p50<=%d p99<=%d\n",
-				width, d.Name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+			fmt.Fprintf(w, "%-*s  count=%d mean=%.1f p50~%.0f p99~%.0f\n",
+				width, d.Name, h.Count, h.Mean(), h.QuantileEst(0.50), h.QuantileEst(0.99))
 		case KindGauge:
 			fmt.Fprintf(w, "%-*s  %d\n", width, d.Name, s.Gauges[d.Name])
 		default:

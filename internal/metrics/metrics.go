@@ -91,6 +91,61 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.count)
 }
 
+// Quantile returns a bucket-interpolated estimate of the q-th quantile
+// (0 < q <= 1): the rank is located in its power-of-two bucket and the
+// value interpolated linearly across the bucket's [2^(k-1), 2^k - 1]
+// span. Resolution is therefore the bucket width, but unlike the raw
+// upper bound the estimate moves smoothly as mass shifts within a bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := quantileRank(q, h.count)
+	var cum int64
+	for k, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			return interpolateBucket(k, target-cum, n)
+		}
+		cum += n
+	}
+	return float64(bucketBound(histBuckets - 1))
+}
+
+// quantileRank converts a quantile into a 1-based rank, clamped to the
+// observation count.
+func quantileRank(q float64, count int64) int64 {
+	target := int64(q * float64(count))
+	if target < 1 {
+		target = 1
+	}
+	if target > count {
+		target = count
+	}
+	return target
+}
+
+// interpolateBucket places rank r of n observations linearly within
+// bucket k's value span.
+func interpolateBucket(k int, r, n int64) float64 {
+	lo, hi := bucketLow(k), bucketBound(k)
+	if lo >= hi || n <= 0 {
+		return float64(hi)
+	}
+	frac := float64(r) / float64(n)
+	return float64(lo) + frac*float64(hi-lo)
+}
+
+// bucketLow returns the inclusive lower bound of bucket k.
+func bucketLow(k int) int64 {
+	if k <= 0 {
+		return 0
+	}
+	return int64(1) << (k - 1)
+}
+
 // Snapshot captures the distribution as a portable value.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{Count: h.count, Sum: h.sum}
@@ -154,6 +209,41 @@ func (s HistogramSnapshot) Quantile(q float64) int64 {
 		}
 	}
 	return s.Buckets[len(s.Buckets)-1].Le
+}
+
+// QuantileEst returns the same bucket-interpolated quantile estimate as
+// Histogram.Quantile, computed from the portable snapshot form.
+func (s HistogramSnapshot) QuantileEst(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := quantileRank(q, s.Count)
+	var cum int64
+	for _, b := range s.Buckets {
+		if cum+b.Count >= target {
+			lo := snapshotBucketLow(b.Le)
+			if lo >= b.Le || b.Count <= 0 {
+				return float64(b.Le)
+			}
+			frac := float64(target-cum) / float64(b.Count)
+			return float64(lo) + frac*float64(b.Le-lo)
+		}
+		cum += b.Count
+	}
+	return float64(s.Buckets[len(s.Buckets)-1].Le)
+}
+
+// snapshotBucketLow recovers a bucket's inclusive lower bound from its
+// upper bound: buckets span [2^(k-1), 2^k - 1] with bucket 0 holding
+// exact zeros.
+func snapshotBucketLow(le int64) int64 {
+	if le <= 0 {
+		return 0
+	}
+	if le == int64(^uint64(0)>>1) { // top bucket, bound clamped to max int64
+		return int64(1) << 62
+	}
+	return (le + 1) >> 1
 }
 
 // Sub returns the bucket-wise difference s - prev, the distribution of

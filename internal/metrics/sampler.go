@@ -1,0 +1,50 @@
+package metrics
+
+// Sampler turns a registry into a time series: callers Tick it at interval
+// boundaries (every K committed instructions in the simulator) and each
+// tick captures the delta of every counter and histogram since the
+// previous tick, plus the caller-supplied cumulative instruction and cycle
+// positions. The paper's over-time figures (IPC, MPKI, SVR coverage) are
+// all derived from these deltas.
+//
+// A Sampler never touches the hot path: it snapshots only at interval
+// boundaries, and a machine with no sampler attached pays nothing.
+type Sampler struct {
+	reg     *Registry
+	prev    Snapshot
+	Samples []Sample
+}
+
+// Sample is one interval of a sampled run: the cumulative position at the
+// end of the interval plus the per-interval metric deltas (gauges carry
+// their instantaneous value, as in Snapshot.Delta).
+type Sample struct {
+	Instrs uint64 // cumulative committed instructions at interval end
+	Cycles int64  // cumulative cycles at interval end
+	Delta  Snapshot
+}
+
+// NewSampler builds a sampler over the registry, baselined at the
+// registry's current state.
+func NewSampler(reg *Registry) *Sampler {
+	s := &Sampler{reg: reg}
+	s.Rebase()
+	return s
+}
+
+// Rebase re-baselines the sampler at the registry's current state and
+// drops accumulated samples — call at the start of the measurement window
+// (after Registry.Reset).
+func (s *Sampler) Rebase() {
+	s.prev = s.reg.Snapshot()
+	s.Samples = nil
+}
+
+// Tick closes the current interval at the given cumulative position and
+// records its deltas. It returns the recorded sample.
+func (s *Sampler) Tick(instrs uint64, cycles int64) *Sample {
+	cur := s.reg.Snapshot()
+	s.Samples = append(s.Samples, Sample{Instrs: instrs, Cycles: cycles, Delta: cur.Delta(s.prev)})
+	s.prev = cur
+	return &s.Samples[len(s.Samples)-1]
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSamplerTickDeltas(t *testing.T) {
+	r := New()
+	var n int64
+	r.Int64("n", "", &n)
+	h := r.NewHistogram("h", "")
+	g := r.NewGauge("g", "")
+
+	n = 5
+	h.Observe(10)
+	g.Set(1)
+	s := NewSampler(r)
+	s.Rebase() // baseline includes the pre-window activity
+
+	n = 12
+	h.Observe(20)
+	g.Set(2)
+	s.Tick(100, 50)
+
+	n = 30
+	s.Tick(200, 120)
+
+	if len(s.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(s.Samples))
+	}
+	s0, s1 := s.Samples[0], s.Samples[1]
+	if s0.Instrs != 100 || s0.Cycles != 50 || s1.Instrs != 200 || s1.Cycles != 120 {
+		t.Errorf("positions = %+v %+v", s0, s1)
+	}
+	if s0.Delta.Counters["n"] != 7 || s1.Delta.Counters["n"] != 18 {
+		t.Errorf("counter deltas = %d, %d; want 7, 18",
+			s0.Delta.Counters["n"], s1.Delta.Counters["n"])
+	}
+	if s0.Delta.Histograms["h"].Count != 1 || s0.Delta.Histograms["h"].Sum != 20 {
+		t.Errorf("histogram delta = %+v", s0.Delta.Histograms["h"])
+	}
+	if s1.Delta.Histograms["h"].Count != 0 {
+		t.Errorf("idle interval histogram delta = %+v", s1.Delta.Histograms["h"])
+	}
+	if s0.Delta.Gauges["g"] != 2 {
+		t.Errorf("gauge in sample = %d, want current level 2", s0.Delta.Gauges["g"])
+	}
+}
+
+func TestSamplerRebaseDropsHistory(t *testing.T) {
+	r := New()
+	var n int64
+	r.Int64("n", "", &n)
+	s := NewSampler(r)
+	n = 9
+	s.Tick(10, 10)
+	s.Rebase()
+	if len(s.Samples) != 0 {
+		t.Fatalf("rebase kept %d samples", len(s.Samples))
+	}
+	n = 11
+	s.Tick(20, 20)
+	if d := s.Samples[0].Delta.Counters["n"]; d != 2 {
+		t.Errorf("post-rebase delta = %d, want 2", d)
+	}
+}
+
+func TestHistogramQuantileInterpolated(t *testing.T) {
+	var h Histogram
+	// 100 observations spread evenly over bucket le=127 (values 64..127):
+	// interpolation should land p50 near the middle of the bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(64 + int64(i)*63/99)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 64 || p50 > 127 {
+		t.Fatalf("p50 = %.1f, outside the only occupied bucket [64,127]", p50)
+	}
+	if math.Abs(p50-95.5) > 16 {
+		t.Errorf("p50 = %.1f, want near the bucket midpoint 95.5", p50)
+	}
+	// The snapshot estimate must agree with the live histogram.
+	if est := h.Snapshot().QuantileEst(0.50); math.Abs(est-p50) > 1e-9 {
+		t.Errorf("QuantileEst = %.3f, Quantile = %.3f", est, p50)
+	}
+	// p100 stays within the bucket.
+	if p100 := h.Quantile(1.0); p100 > 127 {
+		t.Errorf("p100 = %.1f > 127", p100)
+	}
+}
+
+func TestHistogramQuantileOrderingAndEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram quantile = %f", h.Quantile(0.5))
+	}
+	h.Observe(0)
+	if h.Quantile(0.5) != 0 {
+		t.Errorf("all-zero histogram p50 = %f", h.Quantile(0.5))
+	}
+	for _, v := range []int64{3, 70, 70, 70, 500, 9000} {
+		h.Observe(v)
+	}
+	// Quantiles must be monotone in q and bounded by the extreme buckets.
+	prev := -1.0
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("quantile(%.2f) = %.1f < quantile at lower q %.1f", q, v, prev)
+		}
+		prev = v
+	}
+	if p50 := h.Quantile(0.5); p50 < 64 || p50 > 127 {
+		t.Errorf("p50 = %.1f, want inside [64,127] (the three 70s)", p50)
+	}
+	if p100 := h.Quantile(1.0); p100 < 8192 || p100 > 16383 {
+		t.Errorf("p100 = %.1f, want inside the 9000 bucket [8192,16383]", p100)
+	}
+}

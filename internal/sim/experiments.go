@@ -24,6 +24,7 @@ type Report struct {
 	Values      map[string]float64
 	Sched       SchedStats
 	CellMetrics []CellMetrics
+	CellSeries  []CellSeries
 }
 
 // CellMetrics pairs one scheduler cell with its metric snapshot.
@@ -31,6 +32,13 @@ type CellMetrics struct {
 	Label    string
 	Workload string
 	Metrics  metrics.Snapshot
+}
+
+// CellSeries pairs one scheduler cell with its interval time series.
+type CellSeries struct {
+	Label    string
+	Workload string
+	Series   *TimeSeries
 }
 
 // cellMetricsOn gates per-cell snapshot collection into reports; the CLI
@@ -44,6 +52,19 @@ var cellMetricsOn bool
 func SetCellMetrics(on bool) bool {
 	prev := cellMetricsOn
 	cellMetricsOn = on
+	return prev
+}
+
+// cellSeriesOn gates per-cell time-series collection into reports; the
+// CLI flips it for the -timeseries flag (alongside Params.SampleEvery,
+// which makes the cells record a series in the first place).
+var cellSeriesOn bool
+
+// SetCellSeries toggles per-cell time-series collection into reports and
+// returns the previous setting.
+func SetCellSeries(on bool) bool {
+	prev := cellSeriesOn
+	cellSeriesOn = on
 	return prev
 }
 
@@ -92,7 +113,8 @@ func (r *Report) JSON() ([]byte, error) {
 		Tables      []*stats.Table `json:",omitempty"`
 		Sched       SchedStats
 		CellMetrics []CellMetrics `json:",omitempty"`
-	}{r.ID, r.Title, r.Notes, r.Values, r.Tables, r.Sched, r.CellMetrics}, "", "  ")
+		CellSeries  []CellSeries  `json:",omitempty"`
+	}{r.ID, r.Title, r.Notes, r.Values, r.Tables, r.Sched, r.CellMetrics, r.CellSeries}, "", "  ")
 }
 
 // matrix runs the cell scheduler over the grid and folds its counters
@@ -106,6 +128,15 @@ func (r *Report) matrix(cfgs []Config, specs []workloads.Spec, p Params) *Result
 			r.CellMetrics = append(r.CellMetrics, CellMetrics{
 				Label: c.Label, Workload: c.Workload, Metrics: res.Metrics,
 			})
+		}
+	}
+	if cellSeriesOn {
+		for _, c := range rs.Cells {
+			if res, _ := rs.Get(c.Label, c.Workload); res.Series != nil {
+				r.CellSeries = append(r.CellSeries, CellSeries{
+					Label: c.Label, Workload: c.Workload, Series: res.Series,
+				})
+			}
 		}
 	}
 	return rs

@@ -11,6 +11,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/imp"
 	"repro/internal/metrics"
+	"repro/internal/stats"
 	"repro/internal/svr"
 	"repro/internal/workloads"
 )
@@ -39,6 +40,9 @@ type Machine interface {
 	Collect() Result
 	// Registry exposes the machine-wide metrics registry.
 	Registry() *metrics.Registry
+	// Stack returns the core's cumulative CPI stack (since the last
+	// ResetStats); the interval sampler diffs successive reads.
+	Stack() stats.CPIStack
 }
 
 // MachineFactory builds a machine of one kind over a pre-built hierarchy.
@@ -88,8 +92,12 @@ func factoryFor(cfg Config) (MachineFactory, error) {
 }
 
 // Simulate drives a machine through the standard warmup → reset →
-// measure → collect sequence shared by every experiment.
+// measure → collect sequence shared by every experiment. With
+// Params.SampleEvery set it also records the interval time series.
 func Simulate(m Machine, p Params) Result {
+	if p.SampleEvery > 0 {
+		return simulateSampled(m, p)
+	}
 	m.Step(p.Warmup)
 	m.ResetStats()
 	m.Step(p.Measure)
@@ -131,6 +139,7 @@ func (m *inOrderMachine) Now() int64         { return m.core.Now() }
 
 func (m *inOrderMachine) Registry() *metrics.Registry { return m.h.Reg }
 func (m *inOrderMachine) ResetStats()                 { m.h.Reg.Reset() }
+func (m *inOrderMachine) Stack() stats.CPIStack       { return m.core.Stack }
 
 func (m *inOrderMachine) Collect() Result {
 	res := Result{Workload: m.inst.Name, Label: m.cfg.Label, Metrics: m.h.Reg.Snapshot()}
@@ -174,6 +183,7 @@ func (m *oooMachine) Now() int64         { return m.core.Now() }
 
 func (m *oooMachine) Registry() *metrics.Registry { return m.h.Reg }
 func (m *oooMachine) ResetStats()                 { m.h.Reg.Reset() }
+func (m *oooMachine) Stack() stats.CPIStack       { return m.core.Stack }
 
 func (m *oooMachine) Collect() Result {
 	res := Result{Workload: m.inst.Name, Label: m.cfg.Label, Metrics: m.h.Reg.Snapshot()}

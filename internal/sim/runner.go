@@ -136,6 +136,96 @@ func emitProgress(ev CellEvent) {
 	}
 }
 
+// gridState is the live view of the scheduler, fed by runMatrix's workers
+// and read by status surfaces (the CLI progress line, the -status HTTP
+// endpoint). It describes the current matrix only; a sweep resets it per
+// grid.
+var gridState struct {
+	sync.Mutex
+	active   bool
+	start    time.Time
+	cells    int
+	done     int
+	cached   int
+	building int // workers constructing a workload image / machine
+	running  int // workers inside Simulate
+	instrs   uint64
+}
+
+// GridStatus is a point-in-time snapshot of the scheduler.
+type GridStatus struct {
+	Active   bool          // a matrix is in flight
+	Cells    int           // total cells of the current matrix
+	Queued   int           // not yet picked up by a worker
+	Building int           // constructing workload image / machine
+	Running  int           // simulating
+	Done     int           // finished (simulated or cached)
+	Cached   int           // of Done, served from the run cache
+	Instrs   uint64        // instructions simulated by finished cells
+	Elapsed  time.Duration // since the matrix started
+	Rate     float64       // instructions per wall-second so far
+	ETA      time.Duration // projected time to finish, 0 if unknown
+}
+
+// CurrentStatus snapshots the scheduler state for status displays.
+func CurrentStatus() GridStatus {
+	gridState.Lock()
+	defer gridState.Unlock()
+	s := GridStatus{
+		Active: gridState.active, Cells: gridState.cells,
+		Building: gridState.building, Running: gridState.running,
+		Done: gridState.done, Cached: gridState.cached, Instrs: gridState.instrs,
+	}
+	s.Queued = s.Cells - s.Done - s.Building - s.Running
+	if s.Queued < 0 {
+		s.Queued = 0
+	}
+	if gridState.active {
+		s.Elapsed = time.Since(gridState.start)
+		if sec := s.Elapsed.Seconds(); sec > 0 {
+			s.Rate = float64(s.Instrs) / sec
+		}
+		if s.Done > 0 && s.Done < s.Cells {
+			s.ETA = time.Duration(float64(s.Elapsed) / float64(s.Done) * float64(s.Cells-s.Done))
+		}
+	}
+	return s
+}
+
+func gridBegin(cells int) {
+	gridState.Lock()
+	gridState.active = true
+	gridState.start = time.Now()
+	gridState.cells = cells
+	gridState.done, gridState.cached = 0, 0
+	gridState.building, gridState.running = 0, 0
+	gridState.instrs = 0
+	gridState.Unlock()
+}
+
+func gridPhase(building, running int) {
+	gridState.Lock()
+	gridState.building += building
+	gridState.running += running
+	gridState.Unlock()
+}
+
+func gridCellDone(cached bool, instrs uint64) {
+	gridState.Lock()
+	gridState.done++
+	if cached {
+		gridState.cached++
+	}
+	gridState.instrs += instrs
+	gridState.Unlock()
+}
+
+func gridFinish() {
+	gridState.Lock()
+	gridState.active = false
+	gridState.Unlock()
+}
+
 // CellStat is the scheduling record of one grid cell.
 type CellStat struct {
 	Label    string
@@ -310,6 +400,8 @@ func cloneInstance(master *workloads.Instance) *workloads.Instance {
 // bit-identical to a serial, uncached sweep.
 func runMatrix(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet {
 	start := time.Now()
+	gridBegin(len(cfgs) * len(specs))
+	defer gridFinish()
 	rs := &ResultSet{rows: make(map[string]map[string]Result, len(cfgs))}
 	for _, cfg := range cfgs {
 		rs.rows[cfg.Label] = make(map[string]Result, len(specs))
@@ -349,12 +441,15 @@ func runMatrix(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet {
 			key := hashCell(cfg, spec.Name, p)
 			res, cached := cacheGet(key)
 			if !cached {
+				gridPhase(+1, 0)
 				inst := cloneInstance(masters[c.wi].instance(spec, p.Scale))
 				m, err := NewMachine(cfg, inst)
 				if err != nil {
 					panic(err)
 				}
+				gridPhase(-1, +1)
 				res = Simulate(m, p)
+				gridPhase(0, -1)
 				cachePut(key, res)
 			}
 			// The cached record may carry another sweep's display label.
@@ -378,6 +473,7 @@ func runMatrix(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet {
 			ev := CellEvent{Label: cfg.Label, Workload: spec.Name, Cached: cached,
 				Wall: wall, Instrs: res.Instrs, Done: done, Cells: len(cells)}
 			mu.Unlock()
+			gridCellDone(cached, res.Instrs)
 			emitProgress(ev)
 		}()
 	}

@@ -88,6 +88,12 @@ type Params struct {
 	Scale   workloads.Scale
 	Warmup  uint64 // instructions before statistics reset
 	Measure uint64 // measured instructions
+
+	// SampleEvery, when non-zero, turns on interval sampling: the
+	// measurement window is chunked into SampleEvery-instruction
+	// intervals and each contributes one row to Result.Series. Sampling
+	// does not perturb the simulated timing.
+	SampleEvery uint64
 }
 
 // DefaultParams returns the standard evaluation window (a scaled-down
@@ -127,6 +133,10 @@ type Result struct {
 	// Metrics is the machine's full registry snapshot for the measurement
 	// window — every counter and latency histogram, keyed by metric name.
 	Metrics metrics.Snapshot
+
+	// Series is the interval-sampled timeline of the measurement window;
+	// nil unless Params.SampleEvery was set.
+	Series *TimeSeries `json:",omitempty"`
 }
 
 // Run simulates one workload on one machine. It builds a fresh instance

@@ -107,6 +107,12 @@ func (e *Engine) register(r *metrics.Registry) {
 	r.Int64("svr.skipped_lil", "SVIs suppressed past the last indirect load", &e.Stats.SkippedLIL)
 	r.Int64("svr.head_lil", "rounds that recorded the head itself as LIL", &e.Stats.HeadLIL)
 	r.Int64("svr.pred_zero", "rounds skipped because the predictor said 0", &e.Stats.PredZero)
+	r.GaugeFunc("svr.banned", "accuracy-monitor ban state (1 = SVR disabled)", func() int64 {
+		if e.mon.banned {
+			return 1
+		}
+		return 0
+	})
 	e.fillDist = r.NewHistogram("lat.svr.fill", "SVI lane issue-to-fill distance (cycles)")
 	r.OnReset(func() {
 		st := e.H.Tracker.Stats[cache.OriginSVR]
@@ -148,14 +154,14 @@ func (e *Engine) laneStart(issueAt int64, k int) int64 {
 // issued instruction.
 func (e *Engine) OnIssue(rec *emu.DynInstr, issueAt int64, _ cache.Level) int64 {
 	if e.Opt.MonitorAccuracy {
-		e.mon.tick(rec.Seq, e)
+		e.mon.tick(rec.Seq, issueAt, e)
 	}
 
 	if e.inPRM {
 		e.prmInstr++
 		if e.prmInstr > e.Opt.PRMTimeout {
 			e.Stats.Timeouts++
-			e.terminate()
+			e.terminate(issueAt)
 		} else if !e.stopSVI {
 			// LIL (§IV-A4): past the learned offset of the final
 			// dependent load in the chain, stop generating SVIs — the
@@ -287,7 +293,8 @@ func (e *Engine) onBranch(rec *emu.DynInstr, issueAt int64) int64 {
 			}
 		}
 		e.Tracer.Emit(trace.Event{Kind: trace.KindMask, Seq: rec.Seq, PC: rec.PC,
-			Text: fmt.Sprintf("taken=%v lanes-live=%d", rec.Taken, active), Arg: int64(active)})
+			Cycle: issueAt,
+			Text:  fmt.Sprintf("taken=%v lanes-live=%d", rec.Taken, active), Arg: int64(active)})
 	}
 	return e.slotsFor(scalars)
 }
@@ -325,7 +332,7 @@ func (e *Engine) onLoad(rec *emu.DynInstr, issueAt int64) int64 {
 	if e.inPRM {
 		if rec.PC == e.hslrPC {
 			// One full iteration of the chain: terminate, wait.
-			e.terminate()
+			e.terminate(issueAt)
 			e.SD.ClearSeenExcept(rec.PC)
 			return 0
 		}
@@ -343,7 +350,8 @@ func (e *Engine) onLoad(rec *emu.DynInstr, issueAt int64) int64 {
 		e.Stats.NestedAborts++
 		if e.Tracer != nil {
 			e.Tracer.Emit(trace.Event{Kind: trace.KindRetarget, Seq: rec.Seq, PC: rec.PC,
-				Text: fmt.Sprintf("nested abort: HSLR %d -> %d", e.hslrPC, rec.PC)})
+				Cycle: issueAt,
+				Text:  fmt.Sprintf("nested abort: HSLR %d -> %d", e.hslrPC, rec.PC)})
 		}
 		e.abortRound()
 		e.hslrPC = rec.PC
@@ -373,7 +381,8 @@ func (e *Engine) onLoad(rec *emu.DynInstr, issueAt int64) int64 {
 	e.Stats.Retargets++
 	if e.Tracer != nil {
 		e.Tracer.Emit(trace.Event{Kind: trace.KindRetarget, Seq: rec.Seq, PC: rec.PC,
-			Text: fmt.Sprintf("retarget: HSLR %d -> %d", e.hslrPC, rec.PC)})
+			Cycle: issueAt,
+			Text:  fmt.Sprintf("retarget: HSLR %d -> %d", e.hslrPC, rec.PC)})
 	}
 	e.hslrPC = rec.PC
 	e.SD.ClearSeenExcept(rec.PC)
@@ -409,8 +418,9 @@ func (e *Engine) enterPRM(rec *emu.DynInstr, sd *SDEntry, issueAt int64) int64 {
 	e.Stats.Rounds++
 	if e.Tracer != nil {
 		e.Tracer.Emit(trace.Event{Kind: trace.KindPRMEnter, Seq: rec.Seq, PC: rec.PC,
-			Text: fmt.Sprintf("head=%d lanes=%d stride=%d", rec.PC, lanes, sd.Stride),
-			Arg:  int64(lanes)})
+			Cycle: issueAt,
+			Text:  fmt.Sprintf("head=%d lanes=%d stride=%d", rec.PC, lanes, sd.Stride),
+			Arg:   int64(lanes)})
 	}
 
 	slots := e.Opt.RegCopyCycles * int64(e.Opt.Width) // DVR-checkpoint ablation
@@ -461,7 +471,7 @@ func (e *Engine) vectorizeHead(rec *emu.DynInstr, sd *SDEntry, issueAt int64, is
 	}
 	e.Stats.SVIs++
 	e.Stats.Scalars += int64(scalars)
-	e.traceSVI(rec, scalars)
+	e.traceSVI(rec, issueAt, scalars)
 	return e.slotsFor(scalars)
 }
 
@@ -567,7 +577,7 @@ func (e *Engine) genSVI(rec *emu.DynInstr, issueAt int64) int64 {
 		}
 		e.Stats.SVIs++
 		e.Stats.Scalars += int64(scalars)
-		e.traceSVI(rec, scalars)
+		e.traceSVI(rec, issueAt, scalars)
 		return e.slotsFor(scalars)
 
 	case isa.KindLoad:
@@ -593,7 +603,7 @@ func (e *Engine) genSVI(rec *emu.DynInstr, issueAt int64) int64 {
 		}
 		e.Stats.SVIs++
 		e.Stats.Scalars += int64(scalars)
-		e.traceSVI(rec, scalars)
+		e.traceSVI(rec, issueAt, scalars)
 		return e.slotsFor(scalars)
 
 	default:
@@ -618,7 +628,7 @@ func (e *Engine) genSVI(rec *emu.DynInstr, issueAt int64) int64 {
 		}
 		e.Stats.SVIs++
 		e.Stats.Scalars += int64(scalars)
-		e.traceSVI(rec, scalars)
+		e.traceSVI(rec, issueAt, scalars)
 		return e.slotsFor(scalars)
 	}
 }
@@ -646,10 +656,11 @@ type laneOp struct {
 }
 
 // traceSVI emits an SVI-generation event when tracing is enabled.
-func (e *Engine) traceSVI(rec *emu.DynInstr, scalars int) {
+func (e *Engine) traceSVI(rec *emu.DynInstr, issueAt int64, scalars int) {
 	if e.Tracer != nil && scalars > 0 {
 		e.Tracer.Emit(trace.Event{Kind: trace.KindSVI, Seq: rec.Seq, PC: rec.PC,
-			Text: fmt.Sprintf("%s x%d", rec.Instr.String(), scalars), Arg: int64(scalars)})
+			Cycle: issueAt,
+			Text:  fmt.Sprintf("%s x%d", rec.Instr.String(), scalars), Arg: int64(scalars)})
 	}
 }
 
@@ -745,12 +756,12 @@ func clampLanes(rem float64, n int) int {
 
 // terminate ends the current PRM round: record waiting range and LIL,
 // clear the taint tracker (§IV-A5).
-func (e *Engine) terminate() {
+func (e *Engine) terminate(at int64) {
 	if !e.inPRM {
 		return
 	}
 	if e.Tracer != nil {
-		e.Tracer.Emit(trace.Event{Kind: trace.KindPRMExit, PC: e.hslrPC,
+		e.Tracer.Emit(trace.Event{Kind: trace.KindPRMExit, PC: e.hslrPC, Cycle: at,
 			Text: fmt.Sprintf("head=%d instrs=%d", e.hslrPC, e.prmInstr)})
 	}
 	if sd := e.SD.Lookup(e.hslrPC); sd != nil {

@@ -604,7 +604,7 @@ func TestAccuracyMonitorBansAndRecovers(t *testing.T) {
 		h.Tracker.Mark(uint64(0x1000+i*64), cache.OriginSVR)
 		h.Tracker.Evict(uint64(0x1000 + i*64))
 	}
-	eng.mon.tick(500, eng)
+	eng.mon.tick(500, 0, eng)
 	if !eng.Banned() {
 		t.Fatal("monitor did not ban after useless prefetches")
 	}
@@ -612,11 +612,11 @@ func TestAccuracyMonitorBansAndRecovers(t *testing.T) {
 		t.Errorf("bans = %d", eng.Stats.Bans)
 	}
 	// Recovery at the next recheck boundary.
-	eng.mon.tick(999, eng)
+	eng.mon.tick(999, 0, eng)
 	if !eng.Banned() {
 		t.Error("unbanned too early")
 	}
-	eng.mon.tick(1000, eng)
+	eng.mon.tick(1000, 0, eng)
 	if eng.Banned() {
 		t.Error("ban not lifted at recheck boundary")
 	}

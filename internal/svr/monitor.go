@@ -21,8 +21,9 @@ type monitor struct {
 }
 
 // tick polls the prefetch tracker. Called per instruction but the stats
-// read is cheap (two int64 loads).
-func (m *monitor) tick(seq uint64, e *Engine) {
+// read is cheap (two int64 loads). at is the issue cycle, stamped onto
+// ban events so they land on the timeline.
+func (m *monitor) tick(seq uint64, at int64, e *Engine) {
 	st := e.H.Tracker.Stats[cache.OriginSVR]
 	if m.banned {
 		if seq >= m.nextRecheck {
@@ -41,7 +42,7 @@ func (m *monitor) tick(seq uint64, e *Engine) {
 		m.banned = true
 		e.Stats.Bans++
 		if e.Tracer != nil {
-			e.Tracer.Emit(trace.Event{Kind: trace.KindBan, Seq: seq,
+			e.Tracer.Emit(trace.Event{Kind: trace.KindBan, Seq: seq, Cycle: at,
 				Text: fmt.Sprintf("accuracy %.2f < %.2f: SVR banned", acc, e.Opt.AccuracyMin)})
 		}
 		interval := e.Opt.AccuracyRecheck
@@ -50,7 +51,7 @@ func (m *monitor) tick(seq uint64, e *Engine) {
 		}
 		m.nextRecheck = (seq/interval + 1) * interval
 		if e.inPRM {
-			e.terminate()
+			e.terminate(at)
 		}
 	}
 	// Slide the window so accuracy is evaluated over recent behaviour.

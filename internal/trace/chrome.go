@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome Trace Event Format rendering: the captured event stream becomes
+// a timeline loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Layout:
+//
+//   - one thread ("lane k") per issue slot of the core, carrying an "X"
+//     duration slice per instruction (issue → result);
+//   - a small pool of "memory" threads carrying one slice per demand
+//     miss (issue → fill), round-robined so overlapping misses don't
+//     collide on a track, with "s"/"f" flow arrows tying each miss back
+//     to the issuing lane slice;
+//   - an "svr" thread with async "b"/"e" spans for PRM rounds
+//     (enter → exit) and instants for SVIs, masks, bans, and retargets.
+//
+// Timestamps are cycles (the format nominally wants microseconds; a
+// 1 cycle = 1 µs reading keeps durations exact and Perfetto indifferent).
+
+// chromeEvent is one record of the Trace Event Format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   uint64         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`  // instant scope
+	BP   string         `json:"bp,omitempty"` // flow binding point
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object envelope form of the format.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+const (
+	chromePid     = 1
+	memTracks     = 4 // concurrent demand misses rarely exceed the MSHR-ish handful
+	chromeCatCore = "core"
+	chromeCatMem  = "mem"
+	chromeCatSVR  = "svr"
+)
+
+// WriteChromeTrace renders events (oldest first, as captured) as a Chrome
+// Trace Event Format JSON object. width is the core's issue width — it
+// fixes the number of lane threads; pass 1 if unknown.
+func WriteChromeTrace(w io.Writer, events []Event, width int) error {
+	if width < 1 {
+		width = 1
+	}
+	memBase := width            // lane tids are 0..width-1
+	svrTid := width + memTracks // after the memory track pool
+
+	out := make([]chromeEvent, 0, len(events)+width+memTracks+2)
+	out = append(out, metaEvent("process_name", 0, map[string]any{"name": "svrsim"}))
+	for l := 0; l < width; l++ {
+		out = append(out, metaEvent("thread_name", l, map[string]any{"name": fmt.Sprintf("lane %d", l)}))
+	}
+	for m := 0; m < memTracks; m++ {
+		out = append(out, metaEvent("thread_name", memBase+m, map[string]any{"name": fmt.Sprintf("memory %d", m)}))
+	}
+	out = append(out, metaEvent("thread_name", svrTid, map[string]any{"name": "svr engine"}))
+
+	// A load's fill time arrives as a separate KindComplete record with
+	// the same Seq; index them so issue slices get true durations.
+	fills := make(map[uint64]Event, len(events)/4)
+	for _, ev := range events {
+		if ev.Kind == KindComplete {
+			fills[ev.Seq] = ev
+		}
+	}
+
+	var prmRound uint64
+	var memCursor int
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindIssue:
+			lane := int(ev.Arg)
+			if lane < 0 || lane >= width {
+				lane = 0
+			}
+			dur := int64(1)
+			fill, haveFill := fills[ev.Seq]
+			if haveFill && fill.Cycle > ev.Cycle {
+				dur = fill.Cycle - ev.Cycle
+			}
+			out = append(out, chromeEvent{Name: ev.Text, Cat: chromeCatCore, Ph: "X",
+				Ts: ev.Cycle, Dur: dur, Pid: chromePid, Tid: lane,
+				Args: map[string]any{"pc": ev.PC, "seq": ev.Seq}})
+			// A fill from beyond L1 gets a memory-track slice plus a flow
+			// arrow from the issuing lane to the fill.
+			if haveFill && fill.Text != "L1" && fill.Text != "commit" && fill.Cycle > ev.Cycle {
+				mt := memBase + memCursor%memTracks
+				memCursor++
+				out = append(out,
+					chromeEvent{Name: "miss " + fill.Text, Cat: chromeCatMem, Ph: "X",
+						Ts: ev.Cycle, Dur: fill.Cycle - ev.Cycle, Pid: chromePid, Tid: mt,
+						Args: map[string]any{"pc": ev.PC, "seq": ev.Seq, "addr": fill.Arg}},
+					chromeEvent{Name: "fill", Cat: chromeCatMem, Ph: "s",
+						Ts: ev.Cycle, Pid: chromePid, Tid: lane, ID: ev.Seq},
+					chromeEvent{Name: "fill", Cat: chromeCatMem, Ph: "f", BP: "e",
+						Ts: fill.Cycle, Pid: chromePid, Tid: mt, ID: ev.Seq})
+			}
+		case KindComplete:
+			// Folded into the issue slice above.
+		case KindPRMEnter:
+			prmRound++
+			out = append(out, chromeEvent{Name: "PRM round", Cat: chromeCatSVR, Ph: "b",
+				Ts: ev.Cycle, Pid: chromePid, Tid: svrTid, ID: prmRound,
+				Args: map[string]any{"detail": ev.Text, "lanes": ev.Arg}})
+		case KindPRMExit:
+			if prmRound == 0 {
+				continue // exit with no captured enter (window truncation)
+			}
+			out = append(out, chromeEvent{Name: "PRM round", Cat: chromeCatSVR, Ph: "e",
+				Ts: ev.Cycle, Pid: chromePid, Tid: svrTid, ID: prmRound,
+				Args: map[string]any{"detail": ev.Text}})
+		default: // SVI, mask, ban, retarget: point-in-time annotations
+			out = append(out, chromeEvent{Name: ev.Kind.String(), Cat: chromeCatSVR, Ph: "i",
+				Ts: ev.Cycle, Pid: chromePid, Tid: svrTid, S: "t",
+				Args: map[string]any{"detail": ev.Text, "pc": ev.PC, "seq": ev.Seq}})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out})
+}
+
+// metaEvent builds an "M" metadata record naming a process or thread.
+func metaEvent(name string, tid int, args map[string]any) chromeEvent {
+	return chromeEvent{Name: name, Ph: "M", Pid: chromePid, Tid: tid, Args: args}
+}

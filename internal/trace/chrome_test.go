@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// chromeTestEvents is a small synthetic window: two lanes, one L1-hit
+// load, one DRAM miss, a PRM round, and an SVI annotation.
+func chromeTestEvents() []Event {
+	return []Event{
+		{Kind: KindIssue, Seq: 1, PC: 4, Cycle: 10, Text: "add r1, r1, r2", Arg: 0},
+		{Kind: KindIssue, Seq: 2, PC: 5, Cycle: 10, Text: "ld64 r2, [r1+0]", Arg: 1},
+		{Kind: KindComplete, Seq: 2, PC: 5, Cycle: 12, Text: "L1", Arg: 0x100},
+		{Kind: KindIssue, Seq: 3, PC: 6, Cycle: 11, Text: "ld64 r3, [r2+0]", Arg: 0},
+		{Kind: KindComplete, Seq: 3, PC: 6, Cycle: 160, Text: "mem", Arg: 0x2000},
+		{Kind: KindPRMEnter, Seq: 3, PC: 6, Cycle: 12, Text: "head=6 lanes=16", Arg: 16},
+		{Kind: KindSVI, Seq: 3, PC: 7, Cycle: 20, Text: "ld64 x16"},
+		{Kind: KindPRMExit, Seq: 3, PC: 6, Cycle: 150, Text: "fills=16"},
+		{Kind: KindIssue, Seq: 4, PC: 7, Cycle: 160, Text: "add r4, r3, r1", Arg: 1},
+	}
+}
+
+// decodeChrome parses exporter output back into the envelope form.
+func decodeChrome(t *testing.T, blob []byte) []chromeEvent {
+	t.Helper()
+	var tr chromeTrace
+	if err := json.Unmarshal(blob, &tr); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	return tr.TraceEvents
+}
+
+// TestChromeTraceRoundTrip is the exporter's structural check: the JSON
+// parses, every expected phase appears, the miss gets a memory-track
+// slice with a flow pair, and per-thread slice timestamps are monotonic.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, chromeTestEvents(), 2); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeChrome(t, b.Bytes())
+
+	phases := map[string]int{}
+	laneSlices := 0
+	var memSlice, flowS, flowF *chromeEvent
+	lastTs := map[int]int64{}
+	for i := range evs {
+		ev := &evs[i]
+		phases[ev.Ph]++
+		if ev.Ph == "X" {
+			// Slice begins must be monotonic within a thread track —
+			// Perfetto rejects out-of-order begins.
+			if prev, ok := lastTs[ev.Tid]; ok && ev.Ts < prev {
+				t.Errorf("tid %d: slice ts %d after %d (non-monotonic)", ev.Tid, ev.Ts, prev)
+			}
+			lastTs[ev.Tid] = ev.Ts
+			switch ev.Cat {
+			case chromeCatCore:
+				laneSlices++
+				if ev.Tid < 0 || ev.Tid >= 2 {
+					t.Errorf("lane slice on tid %d, want 0..1", ev.Tid)
+				}
+			case chromeCatMem:
+				memSlice = ev
+			}
+		}
+		if ev.Ph == "s" {
+			flowS = ev
+		}
+		if ev.Ph == "f" {
+			flowF = ev
+		}
+	}
+	if laneSlices != 4 {
+		t.Errorf("lane slices = %d, want 4 (one per issue)", laneSlices)
+	}
+	for _, ph := range []string{"M", "X", "b", "e", "i", "s", "f"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q-phase events in output (phases: %v)", ph, phases)
+		}
+	}
+	if memSlice == nil {
+		t.Fatal("DRAM miss produced no memory-track slice")
+	}
+	if memSlice.Name != "miss mem" || memSlice.Dur != 149 {
+		t.Errorf("memory slice = %q dur %d, want \"miss mem\" dur 149", memSlice.Name, memSlice.Dur)
+	}
+	if flowS == nil || flowF == nil {
+		t.Fatal("miss produced no flow pair")
+	}
+	if flowS.ID != flowF.ID {
+		t.Errorf("flow ids differ: s=%d f=%d", flowS.ID, flowF.ID)
+	}
+	if flowF.BP != "e" {
+		t.Errorf("flow finish bp = %q, want \"e\" (bind to slice end)", flowF.BP)
+	}
+	if flowS.Tid != 0 || flowF.Tid != memSlice.Tid {
+		t.Errorf("flow endpoints: s on tid %d (want lane 0), f on tid %d (want mem tid %d)",
+			flowS.Tid, flowF.Tid, memSlice.Tid)
+	}
+}
+
+// TestChromeTracePRMPairing checks async begin/end spans share an id and
+// that an exit without a captured enter is dropped, not emitted orphaned.
+func TestChromeTracePRMPairing(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, chromeTestEvents(), 2); err != nil {
+		t.Fatal(err)
+	}
+	var begin, end *chromeEvent
+	evs := decodeChrome(t, b.Bytes())
+	for i := range evs {
+		switch evs[i].Ph {
+		case "b":
+			begin = &evs[i]
+		case "e":
+			end = &evs[i]
+		}
+	}
+	if begin == nil || end == nil {
+		t.Fatal("PRM round did not become a b/e span pair")
+	}
+	if begin.ID != end.ID {
+		t.Errorf("span ids differ: b=%d e=%d", begin.ID, end.ID)
+	}
+	if begin.Ts != 12 || end.Ts != 150 {
+		t.Errorf("span = [%d, %d], want [12, 150]", begin.Ts, end.Ts)
+	}
+
+	// A window that opens mid-round sees the exit first; it must vanish.
+	b.Reset()
+	if err := WriteChromeTrace(&b, []Event{{Kind: KindPRMExit, Cycle: 5}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range decodeChrome(t, b.Bytes()) {
+		if ev.Ph == "e" {
+			t.Errorf("orphaned PRM exit emitted: %+v", ev)
+		}
+	}
+}
+
+// TestChromeTraceLaneClamp: an out-of-range lane argument lands on lane 0
+// rather than inventing a thread.
+func TestChromeTraceLaneClamp(t *testing.T) {
+	var b bytes.Buffer
+	events := []Event{{Kind: KindIssue, Seq: 1, Cycle: 1, Text: "x", Arg: 99}}
+	if err := WriteChromeTrace(&b, events, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range decodeChrome(t, b.Bytes()) {
+		if ev.Ph == "X" && ev.Tid != 0 {
+			t.Errorf("out-of-range lane mapped to tid %d, want 0", ev.Tid)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// JSONL streams events to a writer as one JSON object per line — the
+// append-only sink for runs too long to hold in memory. Rendering is
+// hand-rolled (no encoding/json) so a line costs one buffer append per
+// field; the bufio layer batches the underlying writes.
+type JSONL struct {
+	bw  *bufio.Writer
+	buf []byte
+	err error // first write error, reported by Close
+}
+
+// NewJSONL builds a streaming JSONL sink over w. Close flushes it.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{bw: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 256)}
+}
+
+// Emit renders one event as a JSON line.
+func (j *JSONL) Emit(ev Event) {
+	if j.err != nil {
+		return
+	}
+	b := j.buf[:0]
+	b = append(b, `{"kind":`...)
+	b = strconv.AppendQuote(b, ev.Kind.String())
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendUint(b, ev.Seq, 10)
+	b = append(b, `,"pc":`...)
+	b = strconv.AppendInt(b, int64(ev.PC), 10)
+	b = append(b, `,"cycle":`...)
+	b = strconv.AppendInt(b, ev.Cycle, 10)
+	if ev.Text != "" {
+		b = append(b, `,"text":`...)
+		b = strconv.AppendQuote(b, ev.Text)
+	}
+	if ev.Arg != 0 {
+		b = append(b, `,"arg":`...)
+		b = strconv.AppendInt(b, ev.Arg, 10)
+	}
+	b = append(b, '}', '\n')
+	j.buf = b
+	if _, err := j.bw.Write(b); err != nil {
+		j.err = err
+	}
+}
+
+// Close flushes buffered lines and reports the first error encountered.
+func (j *JSONL) Close() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.bw.Flush()
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingDropped(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 3; i++ {
+		r.Emit(Event{Seq: uint64(i)})
+	}
+	if d := r.Dropped(); d != 0 {
+		t.Fatalf("dropped = %d before wrap, want 0", d)
+	}
+	for i := 3; i < 10; i++ {
+		r.Emit(Event{Seq: uint64(i)})
+	}
+	if d := r.Dropped(); d != 6 {
+		t.Fatalf("dropped = %d after 10 emits into 4 slots, want 6", d)
+	}
+}
+
+func TestDumpAnnouncesDropped(t *testing.T) {
+	r := NewRing(2)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Kind: KindIssue, Seq: uint64(i), Text: "add"})
+	}
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "(+3 older events dropped)\n") {
+		t.Errorf("dump does not announce truncation:\n%s", b.String())
+	}
+
+	// No header when nothing was overwritten.
+	r2 := NewRing(8)
+	r2.Emit(Event{Kind: KindIssue})
+	b.Reset()
+	if err := r2.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "dropped") {
+		t.Errorf("dump claims drops on a non-full ring:\n%s", b.String())
+	}
+}
+
+func TestCaptureRetainsEverything(t *testing.T) {
+	var c Capture
+	for i := 0; i < 1000; i++ {
+		c.Emit(Event{Seq: uint64(i)})
+	}
+	if len(c.Events) != 1000 {
+		t.Fatalf("captured %d events, want 1000", len(c.Events))
+	}
+	if c.Events[999].Seq != 999 {
+		t.Errorf("events out of order: last seq = %d", c.Events[999].Seq)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestJSONLRoundTrip checks the hand-rolled JSONL rendering against
+// encoding/json: every line must parse, and the parsed fields must match
+// the emitted event — including text that needs escaping.
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: KindIssue, Seq: 1, PC: 7, Cycle: 100, Text: `ld64 r2, [r1+0]`, Arg: 3},
+		{Kind: KindComplete, Seq: 1, PC: 7, Cycle: 140, Text: "mem", Arg: 0x1000},
+		{Kind: KindPRMEnter, Seq: 2, PC: 9, Cycle: 141, Text: `head="quoted" lanes=16`},
+		{Kind: KindSVI, Seq: 3, PC: 11, Cycle: 150},         // no text, no arg
+		{Kind: KindMask, Seq: 4, PC: 0, Cycle: -1, Arg: -5}, // negative values
+	}
+	var b strings.Builder
+	j := NewJSONL(&b)
+	for _, ev := range events {
+		j.Emit(ev)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != len(events) {
+		t.Fatalf("wrote %d lines for %d events", len(lines), len(events))
+	}
+	for i, line := range lines {
+		var got struct {
+			Kind  string
+			Seq   uint64
+			PC    int
+			Cycle int64
+			Text  string
+			Arg   int64
+		}
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d does not parse: %v\n%s", i, err, line)
+		}
+		want := events[i]
+		if got.Kind != want.Kind.String() || got.Seq != want.Seq || got.PC != want.PC ||
+			got.Cycle != want.Cycle || got.Text != want.Text || got.Arg != want.Arg {
+			t.Errorf("line %d round-trips to %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestSinkInterfaces(t *testing.T) {
+	// Every sink in the package must satisfy Sink; a compile-time check
+	// plus a runtime reminder if one is removed from this list.
+	for _, s := range []Sink{&Capture{}, NewRing(4), NewJSONL(&strings.Builder{})} {
+		if s == nil {
+			t.Fatal("nil sink")
+		}
+	}
+}

@@ -54,10 +54,32 @@ func (e Event) String() string {
 }
 
 // Tracer receives events. Implementations must be cheap; hot paths call
-// Emit once per instruction.
+// Emit once per instruction. Emitters nil-check their Tracer field, so a
+// machine with no tracer attached pays a single predictable branch.
 type Tracer interface {
 	Emit(ev Event)
 }
+
+// Sink is a Tracer with a lifecycle: streaming sinks (JSONL) buffer and
+// must be Closed to flush; in-memory sinks (Ring, Capture) close as a
+// no-op. Everything that consumes a whole run's events should accept a
+// Sink so the CLI can swap renderings without touching the emitters.
+type Sink interface {
+	Tracer
+	Close() error
+}
+
+// Capture retains every emitted event, unbounded — the collection sink
+// behind exporters that need the whole run (Chrome trace timelines).
+type Capture struct {
+	Events []Event
+}
+
+// Emit appends the event.
+func (c *Capture) Emit(ev Event) { c.Events = append(c.Events, ev) }
+
+// Close is a no-op; Capture holds everything in memory.
+func (c *Capture) Close() error { return nil }
 
 // Ring keeps the last N events.
 type Ring struct {
@@ -91,6 +113,13 @@ func (r *Ring) Len() int {
 // Total reports how many events were emitted overall.
 func (r *Ring) Total() int64 { return r.n }
 
+// Dropped reports how many emitted events the ring has overwritten —
+// the truncation a dump silently hides without it.
+func (r *Ring) Dropped() int64 { return r.n - int64(r.Len()) }
+
+// Close is a no-op; Ring holds its window in memory.
+func (r *Ring) Close() error { return nil }
+
 // Events returns the retained events oldest-first.
 func (r *Ring) Events() []Event {
 	if !r.full {
@@ -102,8 +131,14 @@ func (r *Ring) Events() []Event {
 	return out
 }
 
-// Dump writes the retained events to w, oldest first.
+// Dump writes the retained events to w, oldest first. Overwritten events
+// are announced rather than silently missing.
 func (r *Ring) Dump(w io.Writer) error {
+	if d := r.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "(+%d older events dropped)\n", d); err != nil {
+			return err
+		}
+	}
 	for _, ev := range r.Events() {
 		if _, err := fmt.Fprintln(w, ev); err != nil {
 			return err
