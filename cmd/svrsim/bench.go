@@ -11,17 +11,27 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// benchBaselineFile is the committed bench baseline; benchBaselineLegacy
+// is its pre-rename path, still read as a fallback so older checkouts
+// and scripts keep working.
+const (
+	benchBaselineFile   = "BENCH_BASELINE.json"
+	benchBaselineLegacy = "BENCH_PR3.json"
 )
 
 // BenchReport is the machine-readable output of `svrsim bench`: the
 // throughput of the simulator itself on the experiment grid, used by CI as
-// a perf-regression reference (BENCH_PR3.json at the repo root is the
+// a perf-regression reference (BENCH_BASELINE.json at the repo root is the
 // committed baseline).
 type BenchReport struct {
 	Generated      string  `json:"generated"`
 	GoVersion      string  `json:"go_version"`
 	GOMAXPROCS     int     `json:"gomaxprocs"`
 	Scale          string  `json:"scale"`
+	CkptShared     bool    `json:"ckpt_shared,omitempty"`
 	Experiments    int     `json:"experiments"`
 	Cells          int     `json:"cells"`
 	Instrs         uint64  `json:"instructions"`
@@ -30,6 +40,13 @@ type BenchReport struct {
 	NSPerInstr     float64 `json:"ns_per_simulated_instr"`
 	AllocsPerInstr float64 `json:"allocs_per_instr"`
 	MSPerCell      float64 `json:"wall_ms_per_cell"`
+
+	// Single-cell reference rates, measured apart from the grid so
+	// parallelism and build time don't blur them: detailed simulation vs
+	// the functional fast-forward loop on the same workload.
+	DetNSPerInstr float64 `json:"detailed_ns_per_instr_single_cell"`
+	FFNSPerInstr  float64 `json:"ff_ns_per_instr"`
+	FFSpeedup     float64 `json:"ff_speedup_vs_detailed"`
 }
 
 // cmdBench runs every experiment cold (run cache disabled, so each cell
@@ -39,11 +56,12 @@ type BenchReport struct {
 // test suite's job, this command only times them.
 func cmdBench(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	outF := fs.String("out", "BENCH_PR3.json", "write the bench report JSON to this file")
-	baseF := fs.String("baseline", "", "prior bench JSON to diff against (informational)")
+	outF := fs.String("out", benchBaselineFile, "write the bench report JSON to this file")
+	baseF := fs.String("baseline", benchBaselineFile, "prior bench JSON to diff against (informational)")
 	cpuF := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memF := fs.String("memprofile", "", "write an allocation profile to this file")
 	fullF := fs.Bool("full", false, "paper-scale inputs instead of quick scale")
+	ckptF := fs.Bool("ckpt", false, "run the grid with shared fast-forward checkpoints instead of per-cell detailed warmup")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +71,11 @@ func cmdBench(w io.Writer, args []string) error {
 	if *fullF {
 		p.Params = sim.DefaultParams()
 		scale = "full"
+	}
+	if *ckptF {
+		p.FastForward += p.Warmup
+		p.Warm = true
+		p.Warmup = 0
 	}
 
 	prevCache := sim.SetRunCacheEnabled(false)
@@ -65,6 +88,13 @@ func cmdBench(w io.Writer, args []string) error {
 		instrs += ev.Instrs
 	})
 	defer sim.SetProgressHook(nil)
+
+	// Reference rates first, single-threaded and outside the profiled
+	// grid window.
+	detNS, ffNS, err := measureRates(p.Params)
+	if err != nil {
+		return err
+	}
 
 	if *cpuF != "" {
 		f, err := os.Create(*cpuF)
@@ -100,14 +130,20 @@ func cmdBench(w io.Writer, args []string) error {
 	}
 
 	rep := BenchReport{
-		Generated:   start.UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Scale:       scale,
-		Experiments: len(exps),
-		Cells:       cells,
-		Instrs:      instrs,
-		WallSeconds: wall.Seconds(),
+		Generated:     start.UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Scale:         scale,
+		CkptShared:    *ckptF,
+		Experiments:   len(exps),
+		Cells:         cells,
+		Instrs:        instrs,
+		WallSeconds:   wall.Seconds(),
+		DetNSPerInstr: detNS,
+		FFNSPerInstr:  ffNS,
+	}
+	if ffNS > 0 {
+		rep.FFSpeedup = detNS / ffNS
 	}
 	if s := wall.Seconds(); s > 0 {
 		rep.CellsPerSec = float64(cells) / s
@@ -130,15 +166,63 @@ func cmdBench(w io.Writer, args []string) error {
 
 	fmt.Fprintf(w, "bench: %d cells, %d Minstr in %.1fs — %.2f cells/s, %.0f ns/instr, %.3f allocs/instr\n",
 		cells, instrs/1e6, wall.Seconds(), rep.CellsPerSec, rep.NSPerInstr, rep.AllocsPerInstr)
+	fmt.Fprintf(w, "fast-forward: %.1f ns/instr vs %.0f ns/instr detailed SVR16 single-cell (%.0fx)\n",
+		ffNS, detNS, rep.FFSpeedup)
 
 	if *baseF != "" {
-		if err := printBenchDelta(w, *baseF, rep); err != nil {
+		basePath := resolveBaseline(*baseF)
+		if err := printBenchDelta(w, basePath, rep); err != nil {
 			// The diff is informational; a missing or stale baseline must
 			// not fail the bench (CI treats this step as non-blocking).
 			fmt.Fprintf(w, "bench: baseline diff skipped: %v\n", err)
 		}
 	}
 	return nil
+}
+
+// resolveBaseline falls back to the legacy baseline name when the caller
+// left the default and only the pre-rename file exists.
+func resolveBaseline(path string) string {
+	if path != benchBaselineFile {
+		return path
+	}
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		if _, err := os.Stat(benchBaselineLegacy); err == nil {
+			return benchBaselineLegacy
+		}
+	}
+	return path
+}
+
+// measureRates times one BFS_KR cell the way a paper-scale region run
+// uses it, on one thread: the functional fast-forward skips ahead, then
+// a detailed window runs on the paper's subject machine (SVR16, the
+// modal grid configuration) from where the skip landed. Grid-level
+// ns/instr conflates build time and parallelism; this is the
+// apples-to-apples rate pair behind ff_speedup_vs_detailed.
+func measureRates(p sim.Params) (detNS, ffNS float64, err error) {
+	spec, err := workloads.Get("BFS_KR")
+	if err != nil {
+		return 0, 0, err
+	}
+	inst := spec.Build(p.Scale)
+	m, err := sim.NewMachine(sim.SVRConfig(16), inst)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	const skip = 2_000_000
+	t0 := time.Now()
+	if !m.FastForward(skip, false) {
+		return 0, 0, fmt.Errorf("bench: BFS_KR ended inside the %d-instruction fast-forward", skip)
+	}
+	ffNS = float64(time.Since(t0).Nanoseconds()) / float64(skip)
+
+	dp := sim.Params{Scale: p.Scale, Warmup: 60_000, Measure: 200_000}
+	t1 := time.Now()
+	sim.SimulateFrom(m, dp)
+	detNS = float64(time.Since(t1).Nanoseconds()) / float64(dp.Warmup+dp.Measure)
+	return detNS, ffNS, nil
 }
 
 // printBenchDelta prints the relative change against a previous report.
@@ -161,6 +245,10 @@ func printBenchDelta(w io.Writer, path string, cur BenchReport) error {
 		return fmt.Sprintf("%+.1f%%", 100*(now-was)/was)
 	}
 	fmt.Fprintf(w, "vs %s:\n", path)
+	if base.CkptShared != cur.CkptShared {
+		fmt.Fprintf(w, "  (warmup modes differ: baseline ckpt_shared=%v, current ckpt_shared=%v)\n",
+			base.CkptShared, cur.CkptShared)
+	}
 	fmt.Fprintf(w, "  wall        %8.1fs -> %8.1fs  (%s)\n", base.WallSeconds, cur.WallSeconds, pct(cur.WallSeconds, base.WallSeconds))
 	fmt.Fprintf(w, "  cells/s     %8.2f -> %8.2f  (%s)\n", base.CellsPerSec, cur.CellsPerSec, pct(cur.CellsPerSec, base.CellsPerSec))
 	fmt.Fprintf(w, "  ns/instr    %8.0f -> %8.0f  (%s)\n", base.NSPerInstr, cur.NSPerInstr, pct(cur.NSPerInstr, base.NSPerInstr))

@@ -99,6 +99,7 @@ func usage() {
 
 run/all flags:
   -quick             small inputs and short windows
+  -scale S           window preset: quick, default, or paper (multi-region sampled)
   -csv               emit tables as CSV for plotting
   -json              emit reports as JSON (values, tables, scheduler counters)
   -metrics           emit reports as JSON with every cell's metric snapshot
@@ -106,6 +107,9 @@ run/all flags:
   -workloads a,b,c   restrict to named workloads
   -measure N         measured instructions per run
   -warmup N          warmup instructions per run
+  -ff N              warmed functional fast-forward before each region
+  -regions N         detailed regions per cell, stitched by fast-forward
+  -ckpt              swap detailed warmup for a shared fast-forward checkpoint
   -timeseries F      sample every cell's counters into a per-interval CSV at F
   -sample N          sampling interval in instructions (default 100000)
   -status ADDR       serve live scheduler status on ADDR (/status, expvar, pprof)
@@ -116,8 +120,10 @@ timeline flags:
   -skip / -window    position the traced window; -n sets SVR vector length
 
 bench flags:
-  -out F             bench report JSON path (default BENCH_PR3.json)
-  -baseline F        diff against a previous bench JSON (informational)
+  -out F             bench report JSON path (default BENCH_BASELINE.json)
+  -baseline F        diff against a previous bench JSON (default BENCH_BASELINE.json,
+                     falling back to the legacy BENCH_PR3.json; informational)
+  -ckpt              run the grid with shared fast-forward checkpoints
   -cpuprofile F      write a CPU profile
   -memprofile F      write an allocation profile
   -full              paper-scale inputs instead of quick scale
@@ -137,9 +143,13 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 	metricsF := fs.Bool("metrics", false, "emit reports as JSON with per-cell metric snapshots")
 	coldF := fs.Bool("cold", false, "disable the memoized run cache")
 	quickF := fs.Bool("quick", false, "small inputs, short windows")
+	scaleF := fs.String("scale", "", "window preset: quick, default, or paper (multi-region sampled)")
 	wls := fs.String("workloads", "", "comma-separated workload filter")
 	measure := fs.Uint64("measure", 0, "measured instructions")
 	warmup := fs.Uint64("warmup", 0, "warmup instructions")
+	ffF := fs.Uint64("ff", 0, "functionally fast-forward (with warming) this many instructions before each region")
+	regionsF := fs.Int("regions", 0, "detailed regions per cell, stitched by fast-forward")
+	ckptF := fs.Bool("ckpt", false, "replace detailed warmup with a shared functionally-warmed fast-forward checkpoint")
 	tsF := fs.String("timeseries", "", "write per-interval counter samples of every cell to this CSV")
 	sampleF := fs.Uint64("sample", 100_000, "sampling interval in instructions (with -timeseries)")
 	statusF := fs.String("status", "", "serve live scheduler status on this address (e.g. :6060)")
@@ -147,14 +157,39 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 		return sim.ExpParams{}, nil, err
 	}
 	p := sim.ExpParams{Params: sim.DefaultParams()}
-	if *quickF {
+	switch *scaleF {
+	case "":
+		if *quickF {
+			p.Params = sim.QuickParams()
+		}
+	case "quick":
 		p.Params = sim.QuickParams()
+	case "default":
+		// DefaultParams already selected.
+	case "paper":
+		p.Params = sim.PaperParams()
+	default:
+		return sim.ExpParams{}, nil, fmt.Errorf("unknown -scale %q (want quick, default, or paper)", *scaleF)
 	}
 	if *measure > 0 {
 		p.Measure = *measure
 	}
 	if *warmup > 0 {
 		p.Warmup = *warmup
+	}
+	if *ffF > 0 {
+		p.FastForward = *ffF
+		p.Warm = true
+	}
+	if *regionsF > 0 {
+		p.Regions = *regionsF
+	}
+	if *ckptF {
+		// Trade the detailed warmup for a (shared, checkpointed)
+		// functionally-warmed fast-forward of the same length.
+		p.FastForward += p.Warmup
+		p.Warm = true
+		p.Warmup = 0
 	}
 	if *wls != "" {
 		p.Workloads = strings.Split(*wls, ",")
@@ -253,9 +288,13 @@ func startProgressTicker(curExp *string) func() {
 				if !st.Active {
 					continue
 				}
+				ckpt := ""
+				if st.Checkpointing > 0 {
+					ckpt = fmt.Sprintf(", %d checkpointing", st.Checkpointing)
+				}
 				progressMu.Lock()
-				fmt.Fprintf(os.Stderr, "\r%s: %d/%d done (%d queued, %d building, %d running%s)",
-					*curExp, st.Done, st.Cells, st.Queued, st.Building, st.Running, statusSuffix())
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d done (%d queued, %d building%s, %d running%s)",
+					*curExp, st.Done, st.Cells, st.Queued, st.Building, ckpt, st.Running, statusSuffix())
 				progressMu.Unlock()
 			}
 		}

@@ -71,6 +71,63 @@ func BenchmarkHierarchyAccessHit(b *testing.B) {
 	}
 }
 
+func BenchmarkFastForward(b *testing.B) {
+	cpu := emu.New(stepProg(), mem.New())
+	cpu.FastForward(1 << 14) // fault in the working set
+	b.ReportAllocs()
+	b.ResetTimer()
+	cpu.FastForward(uint64(b.N))
+}
+
+func BenchmarkFastForwardWarm(b *testing.B) {
+	h := cache.NewHierarchy(cache.DefaultConfig())
+	bp := inorder.New(inorder.DefaultConfig(), h).BP
+	w := &hierBPWarmer{h: h, bp: bp}
+	cpu := emu.New(stepProg(), mem.New())
+	cpu.FastForwardWarm(1<<14, w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	cpu.FastForwardWarm(uint64(b.N), w)
+}
+
+// hierBPWarmer mirrors the warmer the sim layer wires up: hierarchy
+// warm-access methods for the memory stream, predictor updates for
+// branches.
+type hierBPWarmer struct {
+	h  *cache.Hierarchy
+	bp interface{ Predict(pc int, taken bool) bool }
+}
+
+func (w *hierBPWarmer) WarmFetch(pc int)              { w.h.WarmFetchInstr(inorder.CodeBase + uint64(pc)*4) }
+func (w *hierBPWarmer) WarmLoad(pc int, addr uint64)  { w.h.WarmAccess(pc, addr, false) }
+func (w *hierBPWarmer) WarmStore(pc int, addr uint64) { w.h.WarmAccess(pc, addr, true) }
+func (w *hierBPWarmer) WarmBranch(pc int, taken bool) { w.bp.Predict(pc, taken) }
+
+// TestFastForwardDoesNotAllocate guards the functional fast-forward loop:
+// steady state must be allocation-free, or paper-scale skip distances pay
+// GC tax on billions of instructions.
+func TestFastForwardDoesNotAllocate(t *testing.T) {
+	cpu := emu.New(stepProg(), mem.New())
+	cpu.FastForward(1 << 14) // fault every page the kernel addresses
+	if allocs := testing.AllocsPerRun(1000, func() { cpu.FastForward(1) }); allocs != 0 {
+		t.Fatalf("emu.FastForward allocates %.1f objects per instruction; the fast-forward loop must be allocation-free", allocs)
+	}
+}
+
+// TestFastForwardWarmDoesNotAllocate guards the warming variant's steady
+// state: warm lookups land in already-allocated cache/TLB/predictor
+// tables, so no per-instruction allocation is acceptable there either.
+func TestFastForwardWarmDoesNotAllocate(t *testing.T) {
+	h := cache.NewHierarchy(cache.DefaultConfig())
+	bp := inorder.New(inorder.DefaultConfig(), h).BP
+	w := &hierBPWarmer{h: h, bp: bp}
+	cpu := emu.New(stepProg(), mem.New())
+	cpu.FastForwardWarm(1<<15, w)
+	if allocs := testing.AllocsPerRun(1000, func() { cpu.FastForwardWarm(1, w) }); allocs != 0 {
+		t.Fatalf("emu.FastForwardWarm allocates %.1f objects per instruction in steady state", allocs)
+	}
+}
+
 // TestEmuStepDoesNotAllocate guards the emulator step loop: one executed
 // instruction must not allocate.
 func TestEmuStepDoesNotAllocate(t *testing.T) {

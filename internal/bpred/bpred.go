@@ -100,6 +100,48 @@ func (p *Predictor) MispredictRate() float64 {
 // ResetStats clears counters but keeps learned state (for warmup).
 func (p *Predictor) ResetStats() { p.Lookups, p.Mispredict = 0, 0 }
 
+// Clone deep-copies the predictor's learned state (tables and
+// histories) with zeroed counters, for checkpoint snapshots.
+func (p *Predictor) Clone() *Predictor {
+	q := *p
+	q.gshare = append([]uint8(nil), p.gshare...)
+	q.localHist = append([]uint16(nil), p.localHist...)
+	q.local = append([]uint8(nil), p.local...)
+	q.chooser = append([]uint8(nil), p.chooser...)
+	q.Lookups, q.Mispredict = 0, 0
+	return &q
+}
+
+// CopyFrom overwrites p's learned state with src's, in place — p's
+// counter fields stay registered wherever they are — leaving counters
+// untouched. Table geometries must match.
+func (p *Predictor) CopyFrom(src *Predictor) {
+	if len(p.gshare) != len(src.gshare) || p.localBits != src.localBits {
+		panic("bpred: table geometry mismatch")
+	}
+	copy(p.gshare, src.gshare)
+	copy(p.localHist, src.localHist)
+	copy(p.local, src.local)
+	copy(p.chooser, src.chooser)
+	p.globalHist = src.globalHist
+}
+
+// StateEqual reports whether two predictors hold identical learned
+// state (tables and histories; counters excluded) — for
+// warming-fidelity tests.
+func (p *Predictor) StateEqual(o *Predictor) bool {
+	if p.globalHist != o.globalHist || len(p.gshare) != len(o.gshare) {
+		return false
+	}
+	for i := range p.gshare {
+		if p.gshare[i] != o.gshare[i] || p.localHist[i] != o.localHist[i] ||
+			p.local[i] != o.local[i] || p.chooser[i] != o.chooser[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func train(c *uint8, taken bool) {
 	if taken {
 		if *c < 3 {

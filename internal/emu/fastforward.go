@@ -1,0 +1,209 @@
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// This file is the functional fast-forward engine: execution without
+// DynInstr streaming and without a timing model, used to reach a region
+// of interest at a small fraction of detailed-simulation cost. The plain
+// loop (FastForward) touches only architectural state; the warming loop
+// (FastForwardWarm) additionally reports the fetch/load/store/branch
+// stream to a Warmer so cache, TLB and branch-predictor state can be
+// warmed at ~zero timing cost. Both loops must stay allocation-free in
+// steady state (guarded by TestFastForwardDoesNotAllocate) and must
+// match Step's architectural semantics exactly (guarded by
+// TestFastForwardMatchesStep).
+
+// ArchState is the portable architectural state of a CPU: everything
+// Step mutates except the memory image. A checkpoint pairs it with a
+// copy-on-write clone of the memory taken at the same instruction.
+type ArchState struct {
+	R      [isa.NumRegs]int64
+	PC     int
+	Flags  int
+	Seq    uint64
+	Halted bool
+}
+
+// SaveArch captures the CPU's architectural state.
+func (c *CPU) SaveArch() ArchState {
+	return ArchState{R: c.R, PC: c.PC, Flags: c.Flags, Seq: c.seq, Halted: c.halted}
+}
+
+// LoadArch restores architectural state saved by SaveArch. Prog and Mem
+// are untouched: the caller pairs the state with the memory image that
+// was captured alongside it.
+func (c *CPU) LoadArch(s ArchState) {
+	c.R, c.PC, c.Flags, c.seq, c.halted = s.R, s.PC, s.Flags, s.Seq, s.Halted
+}
+
+// Warmer receives the architectural event stream of a fast-forward so
+// timing-free microarchitectural state (cache tags, TLB entries, branch
+// predictor tables) can be warmed without running a timing model. The
+// calls arrive in the order the detailed cores would have driven them:
+// WarmFetch for every instruction, then the instruction's own event.
+type Warmer interface {
+	WarmFetch(pc int)
+	WarmLoad(pc int, addr uint64)
+	WarmStore(pc int, addr uint64)
+	WarmBranch(pc int, taken bool)
+}
+
+// FastForward executes up to n instructions with no trace streaming and
+// no timing, returning the number executed (short only if the program
+// halted). Architectural state afterwards is bit-identical to n Step
+// calls.
+//
+// The loop keeps PC and flags in locals (written back once) and inlines
+// the hottest ALU semantics from EvalALU directly into the dispatch
+// switch; TestFastForwardPureOpsMatchEvalALU pins the inlined cases to
+// EvalALU op by op. This is the paper-scale skip engine: its rate, not
+// the detailed models', bounds how cheaply regions can be reached.
+func (c *CPU) FastForward(n uint64) uint64 {
+	if c.halted {
+		return 0
+	}
+	code := c.Prog.Code
+	mem := c.Mem
+	pc := c.PC
+	flags := c.Flags
+	var done uint64
+	for done < n && pc < len(code) {
+		in := code[pc]
+		a, bv := c.R[in.Ra], c.R[in.Rb]
+		nextPC := pc + 1
+		var v int64
+		switch in.Op {
+		case isa.OpAdd:
+			v = a + bv
+			goto write
+		case isa.OpAddI:
+			v = a + in.Imm
+			goto write
+		case isa.OpLoad:
+			// The load always executes (first touch may install a
+			// page), matching Step even for an R0 destination.
+			v = loadSigned(mem, uint64(a+in.Imm), in.Size)
+			goto write
+		case isa.OpStore:
+			mem.Write(uint64(a+in.Imm), uint64(bv), in.Size)
+		case isa.OpCmp:
+			flags = cmpSign(a, bv)
+		case isa.OpCmpI:
+			flags = cmpSign(a, in.Imm)
+		case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLE, isa.OpBGT:
+			if branchTaken(in.Op, flags) {
+				nextPC = int(in.Imm)
+			}
+		case isa.OpAndI:
+			v = a & in.Imm
+			goto write
+		case isa.OpShlI:
+			v = a << (uint64(in.Imm) & 63)
+			goto write
+		case isa.OpShrI:
+			v = int64(uint64(a) >> (uint64(in.Imm) & 63))
+			goto write
+		case isa.OpMul:
+			v = a * bv
+			goto write
+		case isa.OpMulI:
+			v = a * in.Imm
+			goto write
+		case isa.OpLoadImm:
+			v = in.Imm
+			goto write
+		case isa.OpJmp:
+			nextPC = int(in.Imm)
+		case isa.OpHalt:
+			c.halted = true
+			pc = nextPC
+			done++
+			goto out
+		default:
+			if ev, pure := EvalALU(in.Op, a, bv, in.Imm); pure {
+				v = ev
+				goto write
+			}
+			if in.Op != isa.OpNop {
+				panic(fmt.Sprintf("emu: unknown opcode %v at pc %d", in.Op, pc))
+			}
+		}
+		pc = nextPC
+		done++
+		continue
+	write:
+		if in.Rd != isa.R0 {
+			c.R[in.Rd] = v
+		}
+		pc = nextPC
+		done++
+	}
+out:
+	c.PC = pc
+	c.Flags = flags
+	c.seq += done
+	return done
+}
+
+// FastForwardWarm is FastForward with functional warming: w observes the
+// fetch/load/store/branch stream. Architectural effects are identical to
+// FastForward; only w's state changes in addition.
+func (c *CPU) FastForwardWarm(n uint64, w Warmer) uint64 {
+	code := c.Prog.Code
+	var done uint64
+	for done < n {
+		if c.halted || c.PC >= len(code) {
+			break
+		}
+		pc := c.PC
+		in := code[pc]
+		a, bv := c.R[in.Ra], c.R[in.Rb]
+		nextPC := pc + 1
+		w.WarmFetch(pc)
+
+		if v, pure := EvalALU(in.Op, a, bv, in.Imm); pure {
+			if in.Rd != isa.R0 {
+				c.R[in.Rd] = v
+			}
+		} else {
+			switch in.Op {
+			case isa.OpLoad:
+				addr := uint64(a + in.Imm)
+				v := loadSigned(c.Mem, addr, in.Size)
+				if in.Rd != isa.R0 {
+					c.R[in.Rd] = v
+				}
+				w.WarmLoad(pc, addr)
+			case isa.OpStore:
+				addr := uint64(a + in.Imm)
+				c.Mem.Write(addr, uint64(bv), in.Size)
+				w.WarmStore(pc, addr)
+			case isa.OpCmp:
+				c.Flags = cmpSign(a, bv)
+			case isa.OpCmpI:
+				c.Flags = cmpSign(a, in.Imm)
+			case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLE, isa.OpBGT:
+				taken := branchTaken(in.Op, c.Flags)
+				if taken {
+					nextPC = int(in.Imm)
+				}
+				w.WarmBranch(pc, taken)
+			case isa.OpJmp:
+				nextPC = int(in.Imm)
+			case isa.OpHalt:
+				c.halted = true
+			case isa.OpNop:
+			default:
+				panic(fmt.Sprintf("emu: unknown opcode %v at pc %d", in.Op, c.PC))
+			}
+		}
+		c.PC = nextPC
+		c.seq++
+		done++
+	}
+	return done
+}

@@ -93,6 +93,30 @@ func (r Report) TransientShare() float64 {
 	return r.TransientJ / den
 }
 
+// Merge combines the reports of two disjoint measurement windows into
+// one report covering both: joule fields and durations add, and the
+// derived rates are recomputed over the combined window. instrs is the
+// combined instruction count (for nJ/instruction).
+func Merge(a, b Report, instrs uint64) Report {
+	r := Report{
+		DynamicJ:    a.DynamicJ + b.DynamicJ,
+		StaticJ:     a.StaticJ + b.StaticJ,
+		TotalJ:      a.TotalJ + b.TotalJ,
+		CoreInstrJ:  a.CoreInstrJ + b.CoreInstrJ,
+		TransientJ:  a.TransientJ + b.TransientJ,
+		coreStaticJ: a.coreStaticJ + b.coreStaticJ,
+		Seconds:     a.Seconds + b.Seconds,
+	}
+	if r.Seconds > 0 {
+		r.AvgPowerW = r.TotalJ / r.Seconds
+		r.CorePowerW = (r.coreStaticJ + r.CoreInstrJ + r.TransientJ) / r.Seconds
+	}
+	if instrs > 0 {
+		r.NJPerInstr = r.TotalJ / float64(instrs) * 1e9
+	}
+	return r
+}
+
 // Estimate computes the energy report for an activity window.
 func Estimate(p Params, a Activity) Report {
 	seconds := float64(a.Cycles) / (p.FreqGHz * 1e9)

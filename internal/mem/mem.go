@@ -48,6 +48,16 @@ type page struct {
 
 type leaf [leafSize]*page
 
+// pcacheSize is the number of direct-mapped page-cache entries; 16 covers
+// the handful of simultaneous array streams a kernel walks without
+// measurable lookup cost.
+const pcacheSize = 16
+
+type pcacheEntry struct {
+	pn   uint64 // page number + 1; 0 = empty
+	page *page
+}
+
 // Memory is a sparse, paged memory image. The zero value is not usable;
 // call New.
 type Memory struct {
@@ -55,11 +65,14 @@ type Memory struct {
 	overflow map[uint64]*page // pages above the radix span, lazily allocated
 	brk      uint64           // allocation cursor for Alloc
 
-	// Single-entry last-page cache: lastPN is the cached page number
-	// plus one (zero means invalid), so the hot compare needs no
-	// separate valid bit.
-	lastPN   uint64
-	lastPage *page
+	// Direct-mapped page cache over the radix directory, indexed by the
+	// low page-number bits. Each entry stores the page number plus one
+	// (zero means invalid), so the hot compare needs no separate valid
+	// bit. Multiple entries keep concurrently-walked streams (a kernel
+	// reading one array while writing another) from thrashing a single
+	// slot; writability is NOT cached — writePage rechecks ownership on
+	// every hit, so Clone can freeze pages without invalidating entries.
+	pcache [pcacheSize]pcacheEntry
 
 	// mu serializes Clone against concurrent Clones of the same image
 	// (the experiment scheduler clones one master per cell from many
@@ -126,15 +139,16 @@ func (m *Memory) install(pn uint64, p *page) {
 // zero page on first touch.
 func (m *Memory) readPage(addr uint64) *page {
 	pn := addr >> PageBits
-	if m.lastPN == pn+1 {
-		return m.lastPage
+	e := &m.pcache[pn&(pcacheSize-1)]
+	if e.pn == pn+1 {
+		return e.page
 	}
 	p := m.find(pn)
 	if p == nil {
 		p = &page{owner: m}
 		m.install(pn, p)
 	}
-	m.lastPN, m.lastPage = pn+1, p
+	e.pn, e.page = pn+1, p
 	return p
 }
 
@@ -143,9 +157,10 @@ func (m *Memory) readPage(addr uint64) *page {
 // handing it out, so writes never reach a page another Memory can see.
 func (m *Memory) writePage(addr uint64) *page {
 	pn := addr >> PageBits
+	e := &m.pcache[pn&(pcacheSize-1)]
 	var p *page
-	if m.lastPN == pn+1 {
-		p = m.lastPage
+	if e.pn == pn+1 {
+		p = e.page
 	} else {
 		p = m.find(pn)
 	}
@@ -157,7 +172,7 @@ func (m *Memory) writePage(addr uint64) *page {
 		m.install(pn, np)
 		p = np
 	}
-	m.lastPN, m.lastPage = pn+1, p
+	e.pn, e.page = pn+1, p
 	return p
 }
 
@@ -201,8 +216,8 @@ func (m *Memory) Clone() *Memory {
 			c.overflow[pn] = p
 		}
 	}
-	// The parent's cached page may now be frozen; the cache carries no
-	// writability claim (writePage rechecks owner), so it stays valid.
+	// The parent's cached pages may now be frozen; the page cache carries
+	// no writability claim (writePage rechecks owner), so it stays valid.
 	return c
 }
 

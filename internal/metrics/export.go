@@ -51,6 +51,49 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	return out
 }
 
+// Merge returns the element-wise sum of two snapshots taken over
+// disjoint measurement windows (multi-region runs): counters and
+// histograms add; gauges are levels, not events, so the later window's
+// (o's) value wins. Presentation metadata follows s, falling back to o
+// when s carries none.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	if s.IsZero() {
+		return o
+	}
+	if o.IsZero() {
+		return s
+	}
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+		help:       s.help,
+		order:      s.order,
+	}
+	if len(out.order) == 0 {
+		out.help, out.order = o.help, o.order
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v
+	}
+	for name, v := range o.Counters {
+		out.Counters[name] += v
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, v := range o.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		out.Histograms[name] = h
+	}
+	for name, h := range o.Histograms {
+		out.Histograms[name] = out.Histograms[name].Add(h)
+	}
+	return out
+}
+
 // descs returns presentation order: registration order when known,
 // otherwise all names sorted, with kinds inferred from the value maps.
 func (s Snapshot) descs() []Desc {

@@ -262,6 +262,28 @@ func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
 	return out
 }
 
+// Add returns the bucket-wise sum s + o, the combined distribution of
+// two disjoint observation windows (the inverse of Sub).
+func (s HistogramSnapshot) Add(o HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: s.Count + o.Count, Sum: s.Sum + o.Sum}
+	i, j := 0, 0
+	for i < len(s.Buckets) || j < len(o.Buckets) {
+		switch {
+		case j >= len(o.Buckets) || (i < len(s.Buckets) && s.Buckets[i].Le < o.Buckets[j].Le):
+			out.Buckets = append(out.Buckets, s.Buckets[i])
+			i++
+		case i >= len(s.Buckets) || o.Buckets[j].Le < s.Buckets[i].Le:
+			out.Buckets = append(out.Buckets, o.Buckets[j])
+			j++
+		default:
+			out.Buckets = append(out.Buckets, Bucket{Le: s.Buckets[i].Le, Count: s.Buckets[i].Count + o.Buckets[j].Count})
+			i++
+			j++
+		}
+	}
+	return out
+}
+
 // appendInt is strconv.AppendInt without the import weight.
 func appendInt(dst []byte, v int64) []byte {
 	if v < 0 {

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -183,5 +184,54 @@ func TestWritePrometheusWellFormed(t *testing.T) {
 		"svrsim_dram_loads_demand 3\n"
 	if out.String() != want {
 		t.Errorf("got:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+func TestHistogramSnapshotAdd(t *testing.T) {
+	a := HistogramSnapshot{Count: 3, Sum: 30, Buckets: []Bucket{{Le: 7, Count: 2}, {Le: 63, Count: 1}}}
+	b := HistogramSnapshot{Count: 2, Sum: 40, Buckets: []Bucket{{Le: 7, Count: 1}, {Le: 15, Count: 1}}}
+	got := a.Add(b)
+	want := HistogramSnapshot{Count: 5, Sum: 70, Buckets: []Bucket{{Le: 7, Count: 3}, {Le: 15, Count: 1}, {Le: 63, Count: 1}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Add = %+v, want %+v", got, want)
+	}
+	// Adding an empty histogram is the identity.
+	if got := a.Add(HistogramSnapshot{}); !reflect.DeepEqual(got, a) {
+		t.Errorf("Add(zero) = %+v, want %+v", got, a)
+	}
+	if got := (HistogramSnapshot{}).Add(b); !reflect.DeepEqual(got, b) {
+		t.Errorf("zero.Add = %+v, want %+v", got, b)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := Snapshot{
+		Counters:   map[string]int64{"x": 1, "shared": 2},
+		Gauges:     map[string]int64{"g": 10},
+		Histograms: map[string]HistogramSnapshot{"h": {Count: 1, Sum: 5, Buckets: []Bucket{{Le: 7, Count: 1}}}},
+	}
+	b := Snapshot{
+		Counters:   map[string]int64{"y": 4, "shared": 3},
+		Gauges:     map[string]int64{"g": 20},
+		Histograms: map[string]HistogramSnapshot{"h": {Count: 2, Sum: 6, Buckets: []Bucket{{Le: 7, Count: 2}}}},
+	}
+	m := a.Merge(b)
+	if m.Counters["x"] != 1 || m.Counters["y"] != 4 || m.Counters["shared"] != 5 {
+		t.Errorf("counters = %+v", m.Counters)
+	}
+	// Gauges are instantaneous: the later window wins.
+	if m.Gauges["g"] != 20 {
+		t.Errorf("gauge = %d, want 20", m.Gauges["g"])
+	}
+	h := m.Histograms["h"]
+	if h.Count != 3 || h.Sum != 11 || len(h.Buckets) != 1 || h.Buckets[0].Count != 3 {
+		t.Errorf("histogram = %+v", h)
+	}
+	// Merging with a zero snapshot returns the other side unchanged.
+	if got := (Snapshot{}).Merge(a); !reflect.DeepEqual(got, a) {
+		t.Errorf("zero.Merge = %+v", got)
+	}
+	if got := a.Merge(Snapshot{}); !reflect.DeepEqual(got, a) {
+		t.Errorf("Merge(zero) = %+v", got)
 	}
 }

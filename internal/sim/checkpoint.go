@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/cpu/inorder"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// Checkpoint is a resumable machine image taken after a fast-forward:
+// the architectural register state plus a copy-on-write clone of the
+// memory, and — when the fast-forward functionally warmed — deep
+// snapshots of the cache-hierarchy and branch-predictor state. One
+// checkpoint fans out to many cells: every restore clones the frozen
+// memory again, so sibling machines mutate memory independently.
+// Timing state (MSHRs, walkers, DRAM channel, core pipeline) is never
+// part of a checkpoint; a restored machine starts it fresh, exactly as
+// a machine that ran the fast-forward in place would.
+type Checkpoint struct {
+	Workload string
+
+	prog  *isa.Program
+	check func(*mem.Memory) error
+	mem   *mem.Memory // frozen COW image at the capture point
+	arch  emu.ArchState
+	hier  *cache.HierarchyState // nil unless warmed
+	bp    *bpred.Predictor      // nil unless warmed
+}
+
+// Instrs returns the architectural instruction count at capture.
+func (ck *Checkpoint) Instrs() uint64 { return ck.arch.Seq }
+
+// Bytes estimates the checkpoint's retained size for cache budgeting.
+func (ck *Checkpoint) Bytes() int64 {
+	n := int64(ck.mem.Pages()) * mem.PageSize
+	if ck.hier != nil {
+		n += ck.hier.Bytes()
+	}
+	return n
+}
+
+// NewMachineFrom builds a machine of the given configuration resumed
+// from a checkpoint: the instance is reconstructed over a fresh COW
+// clone of the checkpointed memory, then the architectural (and any
+// warmed) state is restored. The configuration's warm-relevant geometry
+// must match the one the checkpoint was produced with (the scheduler
+// keys checkpoints by it).
+func NewMachineFrom(cfg Config, ck *Checkpoint) (Machine, error) {
+	inst := &workloads.Instance{
+		Name:  ck.Workload,
+		Prog:  ck.prog,
+		Mem:   ck.mem.Clone(),
+		Check: ck.check,
+	}
+	m, err := NewMachine(cfg, inst)
+	if err != nil {
+		return nil, err
+	}
+	m.Restore(ck)
+	return m, nil
+}
+
+// hierWarmer adapts a hierarchy plus branch predictor to emu.Warmer,
+// replaying the fetch/load/store/branch stream the detailed cores would
+// have driven through them. Both cores fetch from the same synthetic
+// code addresses (inorder.CodeBase + 4·pc).
+type hierWarmer struct {
+	h  *cache.Hierarchy
+	bp *bpred.Predictor
+}
+
+func (w *hierWarmer) WarmFetch(pc int)              { w.h.WarmFetchInstr(inorder.CodeBase + uint64(pc)*4) }
+func (w *hierWarmer) WarmLoad(pc int, addr uint64)  { w.h.WarmAccess(pc, addr, false) }
+func (w *hierWarmer) WarmStore(pc int, addr uint64) { w.h.WarmAccess(pc, addr, true) }
+func (w *hierWarmer) WarmBranch(pc int, taken bool) { w.bp.Predict(pc, taken) }
+
+func (m *inOrderMachine) FastForward(n uint64, warm bool) bool {
+	if !warm {
+		return m.cpu.FastForward(n) == n
+	}
+	m.warmed = true
+	return m.cpu.FastForwardWarm(n, &hierWarmer{h: m.h, bp: m.core.BP}) == n
+}
+
+func (m *inOrderMachine) Checkpoint() *Checkpoint {
+	ck := &Checkpoint{
+		Workload: m.inst.Name,
+		prog:     m.inst.Prog,
+		check:    m.inst.Check,
+		mem:      m.cpu.Mem.Clone(),
+		arch:     m.cpu.SaveArch(),
+	}
+	if m.warmed {
+		ck.hier = m.h.WarmState()
+		ck.bp = m.core.BP.Clone()
+	}
+	return ck
+}
+
+func (m *inOrderMachine) Restore(ck *Checkpoint) {
+	m.cpu.LoadArch(ck.arch)
+	if ck.hier != nil {
+		m.h.SetWarmState(ck.hier)
+		m.core.BP.CopyFrom(ck.bp)
+		m.warmed = true
+	}
+}
+
+func (m *oooMachine) FastForward(n uint64, warm bool) bool {
+	if !warm {
+		return m.cpu.FastForward(n) == n
+	}
+	m.warmed = true
+	return m.cpu.FastForwardWarm(n, &hierWarmer{h: m.h, bp: m.core.BP}) == n
+}
+
+func (m *oooMachine) Checkpoint() *Checkpoint {
+	ck := &Checkpoint{
+		Workload: m.inst.Name,
+		prog:     m.inst.Prog,
+		check:    m.inst.Check,
+		mem:      m.cpu.Mem.Clone(),
+		arch:     m.cpu.SaveArch(),
+	}
+	if m.warmed {
+		ck.hier = m.h.WarmState()
+		ck.bp = m.core.BP.Clone()
+	}
+	return ck
+}
+
+func (m *oooMachine) Restore(ck *Checkpoint) {
+	m.cpu.LoadArch(ck.arch)
+	if ck.hier != nil {
+		m.h.SetWarmState(ck.hier)
+		m.core.BP.CopyFrom(ck.bp)
+		m.warmed = true
+	}
+}

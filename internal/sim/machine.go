@@ -43,6 +43,22 @@ type Machine interface {
 	// Stack returns the core's cumulative CPI stack (since the last
 	// ResetStats); the interval sampler diffs successive reads.
 	Stack() stats.CPIStack
+	// FastForward functionally executes up to n instructions on the
+	// architectural emulator — no timing models run, no cycles pass.
+	// With warm set, cache/TLB/prefetch-tag/branch-predictor state is
+	// functionally warmed alongside. Reports false if the program ended
+	// before all n executed.
+	FastForward(n uint64, warm bool) bool
+	// Checkpoint captures the machine's resumable state (architectural
+	// registers plus a COW memory clone, and warmed microarchitectural
+	// snapshots after a warmed fast-forward) for NewMachineFrom. Only
+	// meaningful before any timed stepping: timing state (MSHRs,
+	// walkers, DRAM, core pipeline) is not captured.
+	Checkpoint() *Checkpoint
+	// Restore adopts ck's architectural and warmed state. The machine
+	// must be freshly built over a clone of the checkpointed memory;
+	// NewMachineFrom does both.
+	Restore(ck *Checkpoint)
 }
 
 // MachineFactory builds a machine of one kind over a pre-built hierarchy.
@@ -93,8 +109,28 @@ func factoryFor(cfg Config) (MachineFactory, error) {
 
 // Simulate drives a machine through the standard warmup → reset →
 // measure → collect sequence shared by every experiment. With
-// Params.SampleEvery set it also records the interval time series.
+// Params.SampleEvery set it also records the interval time series; with
+// Params.FastForward or multi-region Params it runs the region schedule
+// (fast-forward → detailed window, repeated) and aggregates.
 func Simulate(m Machine, p Params) Result {
+	if p.FastForward == 0 && p.Regions <= 1 {
+		return simulateWindow(m, p)
+	}
+	return simulateRegions(m, p, false)
+}
+
+// SimulateFrom is Simulate for a machine already positioned at its first
+// region start (restored from a post-fast-forward checkpoint): the first
+// fast-forward is skipped, everything else is identical.
+func SimulateFrom(m Machine, p Params) Result {
+	if p.FastForward == 0 && p.Regions <= 1 {
+		return simulateWindow(m, p)
+	}
+	return simulateRegions(m, p, true)
+}
+
+// simulateWindow runs one detailed warmup+measure window.
+func simulateWindow(m Machine, p Params) Result {
 	if p.SampleEvery > 0 {
 		return simulateSampled(m, p)
 	}
@@ -107,12 +143,13 @@ func Simulate(m Machine, p Params) Result {
 // inOrderMachine is the in-order family: the bare baseline core, and the
 // same core with the IMP prefetcher or the SVR engine as its companion.
 type inOrderMachine struct {
-	cfg  Config
-	inst *workloads.Instance
-	h    *cache.Hierarchy
-	cpu  *emu.CPU
-	core *inorder.Core
-	eng  *svr.Engine // non-nil only for SVR
+	cfg    Config
+	inst   *workloads.Instance
+	h      *cache.Hierarchy
+	cpu    *emu.CPU
+	core   *inorder.Core
+	eng    *svr.Engine // non-nil only for SVR
+	warmed bool        // a warmed fast-forward ran; Checkpoint snapshots hierarchy state
 }
 
 func newInOrderMachine(cfg Config, inst *workloads.Instance, h *cache.Hierarchy) Machine {
@@ -160,11 +197,12 @@ func (m *inOrderMachine) Collect() Result {
 
 // oooMachine is the out-of-order comparison core.
 type oooMachine struct {
-	cfg  Config
-	inst *workloads.Instance
-	h    *cache.Hierarchy
-	cpu  *emu.CPU
-	core *ooo.Core
+	cfg    Config
+	inst   *workloads.Instance
+	h      *cache.Hierarchy
+	cpu    *emu.CPU
+	core   *ooo.Core
+	warmed bool // a warmed fast-forward ran; Checkpoint snapshots hierarchy state
 }
 
 func newOoOMachine(cfg Config, inst *workloads.Instance, h *cache.Hierarchy) Machine {

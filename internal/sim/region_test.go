@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMultiRegionAggregation: a Regions>1 run must sum event counts
+// across regions, recompute the rate fields, attach the per-region
+// spread, and drop the (now gap-ridden) time series.
+func TestMultiRegionAggregation(t *testing.T) {
+	p := QuickParams()
+	p.FastForward = 100_000
+	p.Warm = true
+	p.Regions = 3
+	p.SampleEvery = 2_000 // would produce a Series in a single-region run
+
+	res, err := RunByName("BFS_KR", MachineConfig(InO), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regions == nil {
+		t.Fatal("multi-region run has no RegionSummary")
+	}
+	rs := res.Regions
+	if rs.Requested != 3 || rs.Simulated != 3 {
+		t.Fatalf("regions = %d/%d, want 3/3", rs.Simulated, rs.Requested)
+	}
+	if rs.FastForward != p.FastForward {
+		t.Errorf("summary FastForward = %d, want %d", rs.FastForward, p.FastForward)
+	}
+	if want := 3 * p.Measure; res.Instrs != want {
+		t.Errorf("aggregate Instrs = %d, want %d", res.Instrs, want)
+	}
+	if len(rs.IPC) != 3 {
+		t.Fatalf("per-region IPC has %d entries", len(rs.IPC))
+	}
+	mean := (rs.IPC[0] + rs.IPC[1] + rs.IPC[2]) / 3
+	if math.Abs(rs.IPCMean-mean) > 1e-12 {
+		t.Errorf("IPCMean = %v, want %v", rs.IPCMean, mean)
+	}
+	if rs.IPCCI95 < 0 {
+		t.Errorf("negative CI half-width %v", rs.IPCCI95)
+	}
+	// Rates must be recomputed from the summed totals.
+	if want := float64(res.Instrs) / float64(res.Cycles); math.Abs(res.IPC-want) > 1e-12 {
+		t.Errorf("aggregate IPC = %v, want %v", res.IPC, want)
+	}
+	if res.Series != nil {
+		t.Error("multi-region run kept a stitched time series")
+	}
+	if res.Metrics.IsZero() {
+		t.Error("aggregate lost the metrics snapshot")
+	}
+	if res.Energy.TotalJ <= 0 {
+		t.Error("aggregate lost the energy report")
+	}
+
+	// A single-region run with the same sampling does keep its Series.
+	p1 := p
+	p1.Regions = 1
+	res1, err := RunByName("BFS_KR", MachineConfig(InO), p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Series == nil {
+		t.Error("single-region sampled run lost its time series")
+	}
+	if res1.Regions != nil {
+		t.Error("single-region run grew a RegionSummary")
+	}
+}
+
+// TestRegionsStopAtProgramEnd: asking for more regions than the program
+// can feed must stop cleanly and report how many actually ran.
+func TestRegionsStopAtProgramEnd(t *testing.T) {
+	p := QuickParams()
+	p.FastForward = 40_000_000 // beyond any quick-scale program
+	p.Warm = true
+	p.Regions = 4
+
+	res, err := RunByName("BFS_KR", MachineConfig(InO), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regions == nil {
+		t.Fatal("no RegionSummary")
+	}
+	if res.Regions.Simulated >= res.Regions.Requested {
+		t.Errorf("simulated %d of %d regions; expected early stop",
+			res.Regions.Simulated, res.Regions.Requested)
+	}
+}

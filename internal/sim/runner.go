@@ -9,6 +9,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
+	"repro/internal/dram"
 	"repro/internal/mem"
 	"repro/internal/workloads"
 )
@@ -148,23 +150,27 @@ var gridState struct {
 	done     int
 	cached   int
 	building int // workers constructing a workload image / machine
+	ckpt     int // workers producing a shared fast-forward checkpoint
 	running  int // workers inside Simulate
 	instrs   uint64
+	ckptWall time.Duration // completed checkpoint-production wall time
 }
 
 // GridStatus is a point-in-time snapshot of the scheduler.
 type GridStatus struct {
-	Active   bool          // a matrix is in flight
-	Cells    int           // total cells of the current matrix
-	Queued   int           // not yet picked up by a worker
-	Building int           // constructing workload image / machine
-	Running  int           // simulating
-	Done     int           // finished (simulated or cached)
-	Cached   int           // of Done, served from the run cache
-	Instrs   uint64        // instructions simulated by finished cells
-	Elapsed  time.Duration // since the matrix started
-	Rate     float64       // instructions per wall-second so far
-	ETA      time.Duration // projected time to finish, 0 if unknown
+	Active        bool          // a matrix is in flight
+	Cells         int           // total cells of the current matrix
+	Queued        int           // not yet picked up by a worker
+	Building      int           // constructing workload image / machine
+	Checkpointing int           // producing a shared fast-forward checkpoint
+	Running       int           // simulating
+	Done          int           // finished (simulated or cached)
+	Cached        int           // of Done, served from the run cache
+	Instrs        uint64        // instructions simulated by finished cells
+	Elapsed       time.Duration // since the matrix started
+	CkptWall      time.Duration // wall time spent producing checkpoints so far
+	Rate          float64       // instructions per wall-second so far
+	ETA           time.Duration // projected time to finish, 0 if unknown
 }
 
 // CurrentStatus snapshots the scheduler state for status displays.
@@ -173,10 +179,12 @@ func CurrentStatus() GridStatus {
 	defer gridState.Unlock()
 	s := GridStatus{
 		Active: gridState.active, Cells: gridState.cells,
-		Building: gridState.building, Running: gridState.running,
-		Done: gridState.done, Cached: gridState.cached, Instrs: gridState.instrs,
+		Building: gridState.building, Checkpointing: gridState.ckpt,
+		Running: gridState.running,
+		Done:    gridState.done, Cached: gridState.cached, Instrs: gridState.instrs,
+		CkptWall: gridState.ckptWall,
 	}
-	s.Queued = s.Cells - s.Done - s.Building - s.Running
+	s.Queued = s.Cells - s.Done - s.Building - s.Checkpointing - s.Running
 	if s.Queued < 0 {
 		s.Queued = 0
 	}
@@ -186,7 +194,14 @@ func CurrentStatus() GridStatus {
 			s.Rate = float64(s.Instrs) / sec
 		}
 		if s.Done > 0 && s.Done < s.Cells {
-			s.ETA = time.Duration(float64(s.Elapsed) / float64(s.Done) * float64(s.Cells-s.Done))
+			// Checkpoint production is a one-time shared cost, not a
+			// per-cell one: project from per-cell time with it excluded,
+			// so ETA doesn't jump when a fast-forward finishes.
+			perCell := s.Elapsed - s.CkptWall
+			if perCell < 0 {
+				perCell = 0
+			}
+			s.ETA = time.Duration(float64(perCell) / float64(s.Done) * float64(s.Cells-s.Done))
 		}
 	}
 	return s
@@ -198,8 +213,9 @@ func gridBegin(cells int) {
 	gridState.start = time.Now()
 	gridState.cells = cells
 	gridState.done, gridState.cached = 0, 0
-	gridState.building, gridState.running = 0, 0
+	gridState.building, gridState.ckpt, gridState.running = 0, 0, 0
 	gridState.instrs = 0
+	gridState.ckptWall = 0
 	gridState.Unlock()
 }
 
@@ -207,6 +223,24 @@ func gridPhase(building, running int) {
 	gridState.Lock()
 	gridState.building += building
 	gridState.running += running
+	gridState.Unlock()
+}
+
+// gridCkptBegin moves the producing worker from "building" (set by the
+// worker loop) to the distinct "checkpointing" phase; gridCkptEnd moves
+// it back and banks the production time for ETA correction.
+func gridCkptBegin() {
+	gridState.Lock()
+	gridState.building--
+	gridState.ckpt++
+	gridState.Unlock()
+}
+
+func gridCkptEnd(d time.Duration) {
+	gridState.Lock()
+	gridState.ckpt--
+	gridState.building++
+	gridState.ckptWall += d
 	gridState.Unlock()
 }
 
@@ -314,30 +348,48 @@ func (e *masterEntry) instance(spec workloads.Spec, sc workloads.Scale) *workloa
 	return e.inst
 }
 
-// buildKey identifies one deterministic workload image: builds are pure
-// functions of (generator, scale), so name+scale is a content key.
+// buildKey identifies one deterministic cacheable image. Raw workload
+// builds are pure functions of (generator, scale), so name+scale is a
+// content key (ff and warm stay zero). Post-fast-forward checkpoints
+// additionally depend on the fast-forward length and — when warming —
+// on the warm-relevant machine geometry (warmKey).
 type buildKey struct {
 	name  string
 	scale workloads.Scale
+	ff    uint64 // 0: raw image; >0: checkpoint after ff instructions
+	warm  string // warm-geometry hash when the fast-forward warmed, else ""
 }
 
-// buildCache memoizes workload images across scheduler invocations. A
-// sweep like `svrsim all` runs ~15 experiments over largely the same
-// workload set; without the cache every matrix re-runs the same Kronecker
-// generation and sorting. Copy-on-write Clone makes retention safe: cells
-// clone the image and never write the master, so a cached image stays
-// pristine. The cache is byte-budgeted (LRU) so paper-scale images cannot
-// pile up without bound.
+// buildCache memoizes workload images — and, since the checkpoint layer,
+// post-fast-forward checkpoints — across scheduler invocations. A sweep
+// like `svrsim all` runs ~15 experiments over largely the same workload
+// set; without the cache every matrix re-runs the same Kronecker
+// generation and sorting, and every cell re-runs its workload's
+// fast-forward. Copy-on-write Clone makes retention safe: cells clone
+// the image and never write the master, so a cached entry stays
+// pristine. The cache is byte-budgeted (LRU) so paper-scale images
+// cannot pile up without bound.
 var buildCache = struct {
 	sync.Mutex
-	m     map[buildKey]*workloads.Instance
-	order []buildKey // LRU order, least recently used first
+	m     map[buildKey]any // *workloads.Instance or *Checkpoint
+	order []buildKey       // LRU order, least recently used first
 	bytes int64
 	limit int64
-}{m: map[buildKey]*workloads.Instance{}, limit: 512 << 20}
+}{m: map[buildKey]any{}, limit: 512 << 20}
 
 func instanceBytes(inst *workloads.Instance) int64 {
 	return int64(inst.Mem.Pages()) * mem.PageSize
+}
+
+// entryBytes sizes one build-cache entry for the byte budget.
+func entryBytes(v any) int64 {
+	switch e := v.(type) {
+	case *workloads.Instance:
+		return instanceBytes(e)
+	case *Checkpoint:
+		return e.Bytes()
+	}
+	return 0
 }
 
 // touchBuild moves k to the most-recently-used end of the LRU order.
@@ -361,7 +413,7 @@ func cachedBuild(spec workloads.Spec, sc workloads.Scale) *workloads.Instance {
 	if inst, ok := buildCache.m[k]; ok {
 		touchBuild(k)
 		buildCache.Unlock()
-		return inst
+		return inst.(*workloads.Instance)
 	}
 	buildCache.Unlock()
 
@@ -371,18 +423,24 @@ func cachedBuild(spec workloads.Spec, sc workloads.Scale) *workloads.Instance {
 	defer buildCache.Unlock()
 	if prev, ok := buildCache.m[k]; ok { // lost a (cross-matrix) race
 		touchBuild(k)
-		return prev
+		return prev.(*workloads.Instance)
 	}
-	buildCache.m[k] = inst
+	storeBuild(k, inst)
+	return inst
+}
+
+// storeBuild inserts an entry and evicts LRU entries past the byte
+// budget. Caller holds buildCache's lock.
+func storeBuild(k buildKey, v any) {
+	buildCache.m[k] = v
 	buildCache.order = append(buildCache.order, k)
-	buildCache.bytes += instanceBytes(inst)
+	buildCache.bytes += entryBytes(v)
 	for buildCache.bytes > buildCache.limit && len(buildCache.order) > 1 {
 		victim := buildCache.order[0]
 		buildCache.order = buildCache.order[1:]
-		buildCache.bytes -= instanceBytes(buildCache.m[victim])
+		buildCache.bytes -= entryBytes(buildCache.m[victim])
 		delete(buildCache.m, victim)
 	}
-	return inst
 }
 
 // cloneInstance copies the memory image so a run (which mutates memory
@@ -392,6 +450,92 @@ func cloneInstance(master *workloads.Instance) *workloads.Instance {
 		Name: master.Name, Prog: master.Prog,
 		Mem: master.Mem.Clone(), Check: master.Check,
 	}
+}
+
+// warmKey hashes the configuration state functional warming actually
+// depends on: cache/TLB/prefetcher geometry and branch-predictor table
+// size. Latencies, MSHR count, walker count and the DRAM model never
+// touch warmed tags, so sweeps over them (MSHR/bandwidth sensitivity)
+// share one warmed checkpoint per workload.
+func warmKey(cfg Config) string {
+	hier := cfg.Hier
+	hier.L1Latency, hier.L2Latency, hier.STLBLatency, hier.WalkLatency = 0, 0, 0, 0
+	hier.L1MSHRs, hier.NumPTWs = 0, 0
+	hier.DRAM = dram.Config{}
+	bits := cfg.InO.BPredTableBits
+	if cfg.Core == OoO {
+		bits = cfg.OoO.BPredTableBits
+	}
+	blob, err := json.Marshal(struct {
+		Hier      cache.Config
+		BPredBits uint
+	}{hier, bits})
+	if err != nil {
+		panic(fmt.Sprintf("sim: cannot hash warm geometry: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// ckptFlight collapses concurrent producers of one checkpoint key: the
+// fast-forward is the expensive shared step, so exactly one worker runs
+// it while the rest wait for its result.
+var ckptFlight = struct {
+	sync.Mutex
+	m map[buildKey]*ckptCall
+}{m: map[buildKey]*ckptCall{}}
+
+type ckptCall struct {
+	done chan struct{}
+	ck   *Checkpoint
+}
+
+// cachedCheckpoint returns the shared post-fast-forward checkpoint for
+// (workload, params, warm geometry), producing it once on a miss: build
+// (or fetch) the raw image, fast-forward a throwaway machine, capture.
+func cachedCheckpoint(spec workloads.Spec, cfg Config, p Params) *Checkpoint {
+	k := buildKey{name: spec.Name, scale: p.Scale, ff: p.FastForward}
+	if p.Warm {
+		k.warm = warmKey(cfg)
+	}
+	buildCache.Lock()
+	if v, ok := buildCache.m[k]; ok {
+		touchBuild(k)
+		buildCache.Unlock()
+		return v.(*Checkpoint)
+	}
+	buildCache.Unlock()
+
+	ckptFlight.Lock()
+	if call, ok := ckptFlight.m[k]; ok {
+		ckptFlight.Unlock()
+		<-call.done
+		return call.ck
+	}
+	call := &ckptCall{done: make(chan struct{})}
+	ckptFlight.m[k] = call
+	ckptFlight.Unlock()
+
+	gridCkptBegin()
+	t0 := time.Now()
+	m, err := NewMachine(cfg, cloneInstance(cachedBuild(spec, p.Scale)))
+	if err != nil {
+		panic(err)
+	}
+	m.FastForward(p.FastForward, p.Warm)
+	ck := m.Checkpoint()
+	gridCkptEnd(time.Since(t0))
+
+	buildCache.Lock()
+	storeBuild(k, ck)
+	buildCache.Unlock()
+
+	call.ck = ck
+	close(call.done)
+	ckptFlight.Lock()
+	delete(ckptFlight.m, k)
+	ckptFlight.Unlock()
+	return ck
 }
 
 // runMatrix simulates every (config, workload) cell of the grid on a
@@ -442,13 +586,26 @@ func runMatrix(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet {
 			res, cached := cacheGet(key)
 			if !cached {
 				gridPhase(+1, 0)
-				inst := cloneInstance(masters[c.wi].instance(spec, p.Scale))
-				m, err := NewMachine(cfg, inst)
-				if err != nil {
-					panic(err)
+				if p.FastForward > 0 {
+					// Shared-checkpoint path: the workload's fast-forward
+					// runs once (cachedCheckpoint) and every cell resumes
+					// from a clone of its frozen image.
+					ck := cachedCheckpoint(spec, cfg, p)
+					m, err := NewMachineFrom(cfg, ck)
+					if err != nil {
+						panic(err)
+					}
+					gridPhase(-1, +1)
+					res = SimulateFrom(m, p)
+				} else {
+					inst := cloneInstance(masters[c.wi].instance(spec, p.Scale))
+					m, err := NewMachine(cfg, inst)
+					if err != nil {
+						panic(err)
+					}
+					gridPhase(-1, +1)
+					res = Simulate(m, p)
 				}
-				gridPhase(-1, +1)
-				res = Simulate(m, p)
 				gridPhase(0, -1)
 				cachePut(key, res)
 			}

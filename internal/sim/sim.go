@@ -89,6 +89,23 @@ type Params struct {
 	Warmup  uint64 // instructions before statistics reset
 	Measure uint64 // measured instructions
 
+	// FastForward, when non-zero, functionally executes this many
+	// instructions (no DynInstr streaming, no timing models) before each
+	// detailed region. The experiment scheduler captures the machine
+	// state after the first fast-forward as a shared checkpoint, so the
+	// fast-forward of a workload runs once and is cloned into every
+	// compatible config cell.
+	FastForward uint64
+	// Warm enables functional warming during fast-forward: cache, TLB,
+	// prefetch-tag and branch-predictor state is updated alongside the
+	// architectural execution at ~zero timing cost, letting the detailed
+	// warmup shrink or disappear.
+	Warm bool
+	// Regions, when above one, runs that many detailed warmup+measure
+	// windows stitched together by fast-forward gaps and aggregates
+	// them; Result.Regions carries the per-region spread.
+	Regions int
+
 	// SampleEvery, when non-zero, turns on interval sampling: the
 	// measurement window is chunked into SampleEvery-instruction
 	// intervals and each contributes one row to Result.Series. Sampling
@@ -107,6 +124,25 @@ func DefaultParams() Params {
 func QuickParams() Params {
 	return Params{Scale: workloads.Scale{GraphNodes: 1 << 16, Elems: 1 << 18, Seed: 42},
 		Warmup: 60_000, Measure: 200_000}
+}
+
+// PaperParams is the paper-scale sampled window: up to ten detailed
+// regions spread across the workload by functionally-warmed
+// fast-forward, so a cell's samples span the longest default-scale
+// workloads (~96 M dynamic instructions — the closest our budget gets to
+// the paper's 200 M-instruction regions) while detailed simulation
+// covers only the measured windows. Shorter workloads simply run fewer
+// regions: the schedule stops at program end and the aggregate reports
+// how many regions actually ran.
+func PaperParams() Params {
+	return Params{
+		Scale:       workloads.BenchScale(),
+		FastForward: 8_000_000,
+		Warm:        true,
+		Regions:     10,
+		Warmup:      100_000,
+		Measure:     500_000,
+	}
 }
 
 // Result is the measurement record of one run.
@@ -135,8 +171,13 @@ type Result struct {
 	Metrics metrics.Snapshot
 
 	// Series is the interval-sampled timeline of the measurement window;
-	// nil unless Params.SampleEvery was set.
+	// nil unless Params.SampleEvery was set (and dropped when a run
+	// aggregates more than one region).
 	Series *TimeSeries `json:",omitempty"`
+
+	// Regions summarizes the per-region spread of a multi-region sampled
+	// run; nil for single-window runs.
+	Regions *RegionSummary `json:",omitempty"`
 }
 
 // Run simulates one workload on one machine. It builds a fresh instance

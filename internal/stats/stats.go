@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -97,6 +98,27 @@ func ArithMean(xs []float64) float64 {
 		sum += x
 	}
 	return sum / float64(len(xs))
+}
+
+// MeanCI95 returns the sample mean of xs and the half-width of its 95 %
+// confidence interval under a normal approximation (1.96·s/√n, sample
+// standard deviation). The half-width is 0 for fewer than two samples —
+// used for the per-region spread of multi-region sampled runs.
+func MeanCI95(xs []float64) (mean, half float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mean = ArithMean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	variance := ss / float64(len(xs)-1)
+	return mean, 1.96 * math.Sqrt(variance/float64(len(xs)))
 }
 
 // Counters is a named-counter bag used by the memory system and cores.

@@ -145,3 +145,24 @@ func TestTableCSV(t *testing.T) {
 		t.Errorf("csv row: %q", csv)
 	}
 }
+
+func TestMeanCI95(t *testing.T) {
+	mean, half := MeanCI95([]float64{1, 2, 3, 4, 5})
+	if mean != 3 {
+		t.Errorf("mean = %v, want 3", mean)
+	}
+	// sample variance 2.5, se = sqrt(2.5/5), half = 1.96*se ≈ 1.3859
+	if want := 1.96 * math.Sqrt(2.5/5); math.Abs(half-want) > 1e-12 {
+		t.Errorf("half-width = %v, want %v", half, want)
+	}
+	if mean, half := MeanCI95([]float64{7}); mean != 7 || half != 0 {
+		t.Errorf("single sample: mean=%v half=%v, want 7, 0", mean, half)
+	}
+	if mean, half := MeanCI95(nil); mean != 0 || half != 0 {
+		t.Errorf("empty: mean=%v half=%v, want 0, 0", mean, half)
+	}
+	// Identical samples: zero spread.
+	if _, half := MeanCI95([]float64{2, 2, 2}); half != 0 {
+		t.Errorf("constant samples: half=%v, want 0", half)
+	}
+}

@@ -27,6 +27,25 @@ type Stats struct {
 	PredZero     int64 // rounds skipped because the predictor said 0
 }
 
+// Add returns the field-wise sum s + o, for aggregating the stats of
+// multiple measurement windows.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Rounds:       s.Rounds + o.Rounds,
+		SVIs:         s.SVIs + o.SVIs,
+		Scalars:      s.Scalars + o.Scalars,
+		Timeouts:     s.Timeouts + o.Timeouts,
+		NestedAborts: s.NestedAborts + o.NestedAborts,
+		Retargets:    s.Retargets + o.Retargets,
+		ChainStarts:  s.ChainStarts + o.ChainStarts,
+		MaskedLanes:  s.MaskedLanes + o.MaskedLanes,
+		Bans:         s.Bans + o.Bans,
+		SkippedLIL:   s.SkippedLIL + o.SkippedLIL,
+		HeadLIL:      s.HeadLIL + o.HeadLIL,
+		PredZero:     s.PredZero + o.PredZero,
+	}
+}
+
 // Engine is the SVR microarchitecture state. It implements
 // inorder.Companion.
 type Engine struct {
