@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench evaluate metrics fuzz vet fmt cover
+.PHONY: all test race bench results evaluate metrics fuzz vet fmt cover
 
 all: vet test
 
@@ -17,10 +17,14 @@ bench:
 
 # Regenerate every table and figure at full scale into results_full.txt,
 # and the same cells machine-readably (per-cell registry snapshots) into
-# results_metrics.json.
-evaluate:
+# results_metrics.json. These outputs are derived artifacts — they are
+# gitignored, not committed; this target is how you (re)produce them.
+results:
 	$(GO) run ./cmd/svrsim all | tee results_full.txt
 	$(GO) run ./cmd/svrsim all -metrics > results_metrics.json
+
+# Back-compat alias for the pre-rename target name.
+evaluate: results
 
 # Quick-scale headline figure with the full per-cell metric snapshots
 # (counters + latency histograms) as JSON on stdout.
@@ -31,6 +35,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/isa/
 	$(GO) test -fuzz FuzzInstrString -fuzztime 15s ./internal/isa/
 	$(GO) test -fuzz FuzzReadWrite -fuzztime 15s ./internal/mem/
+	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s ./internal/stream/
 
 fmt:
 	gofmt -w .

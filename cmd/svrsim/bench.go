@@ -32,6 +32,7 @@ type BenchReport struct {
 	GOMAXPROCS     int     `json:"gomaxprocs"`
 	Scale          string  `json:"scale"`
 	CkptShared     bool    `json:"ckpt_shared,omitempty"`
+	Replay         string  `json:"replay,omitempty"`
 	Experiments    int     `json:"experiments"`
 	Cells          int     `json:"cells"`
 	Instrs         uint64  `json:"instructions"`
@@ -47,6 +48,15 @@ type BenchReport struct {
 	DetNSPerInstr float64 `json:"detailed_ns_per_instr_single_cell"`
 	FFNSPerInstr  float64 `json:"ff_ns_per_instr"`
 	FFSpeedup     float64 `json:"ff_speedup_vs_detailed"`
+
+	// Execute-once, time-many accounting (populated when -replay=on):
+	// how many cells consumed a recorded stream vs. ran live, and how
+	// compact the recordings were.
+	ReplayCells         int     `json:"replay_cells,omitempty"`
+	LiveCells           int     `json:"live_cells,omitempty"`
+	StreamRecordings    int     `json:"stream_recordings,omitempty"`
+	StreamBytes         int64   `json:"stream_bytes,omitempty"`
+	StreamBytesPerInstr float64 `json:"stream_bytes_per_instr,omitempty"`
 }
 
 // cmdBench runs every experiment cold (run cache disabled, so each cell
@@ -62,7 +72,12 @@ func cmdBench(w io.Writer, args []string) error {
 	memF := fs.String("memprofile", "", "write an allocation profile to this file")
 	fullF := fs.Bool("full", false, "paper-scale inputs instead of quick scale")
 	ckptF := fs.Bool("ckpt", false, "run the grid with shared fast-forward checkpoints instead of per-cell detailed warmup")
+	replayF := fs.String("replay", "off", "stream policy: off (comparable to pre-replay baselines) or on (record-once/replay-many, composed with shared checkpoints)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mode, err := sim.ParseReplayMode(*replayF)
+	if err != nil {
 		return err
 	}
 
@@ -72,7 +87,11 @@ func cmdBench(w io.Writer, args []string) error {
 		p.Params = sim.DefaultParams()
 		scale = "full"
 	}
-	if *ckptF {
+	if *ckptF || mode == sim.ReplayOn {
+		// -replay=on implies the shared-checkpoint composition: the
+		// recording pass starts from the post-fast-forward point, so the
+		// detailed warmup is folded into the (shared, functionally-warmed)
+		// fast-forward exactly as -ckpt does.
 		p.FastForward += p.Warmup
 		p.Warm = true
 		p.Warmup = 0
@@ -80,14 +99,20 @@ func cmdBench(w io.Writer, args []string) error {
 
 	prevCache := sim.SetRunCacheEnabled(false)
 	defer sim.SetRunCacheEnabled(prevCache)
+	prevReplay := sim.SetReplayMode(mode)
+	defer sim.SetReplayMode(prevReplay)
 
-	var cells int
+	var cells, replayCells int
 	var instrs uint64
 	sim.SetProgressHook(func(ev sim.CellEvent) {
 		cells++
 		instrs += ev.Instrs
+		if ev.Replayed {
+			replayCells++
+		}
 	})
 	defer sim.SetProgressHook(nil)
+	rec0 := sim.RecordingStats()
 
 	// Reference rates first, single-threaded and outside the profiled
 	// grid window.
@@ -134,13 +159,24 @@ func cmdBench(w io.Writer, args []string) error {
 		GoVersion:     runtime.Version(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Scale:         scale,
-		CkptShared:    *ckptF,
+		CkptShared:    *ckptF || mode == sim.ReplayOn,
 		Experiments:   len(exps),
 		Cells:         cells,
 		Instrs:        instrs,
 		WallSeconds:   wall.Seconds(),
 		DetNSPerInstr: detNS,
 		FFNSPerInstr:  ffNS,
+	}
+	if mode != sim.ReplayOff {
+		rec := sim.RecordingStats()
+		rep.Replay = mode.String()
+		rep.ReplayCells = replayCells
+		rep.LiveCells = cells - replayCells
+		rep.StreamRecordings = rec.Recordings - rec0.Recordings
+		rep.StreamBytes = rec.Bytes - rec0.Bytes
+		if di := rec.Instrs - rec0.Instrs; di > 0 {
+			rep.StreamBytesPerInstr = float64(rep.StreamBytes) / float64(di)
+		}
 	}
 	if ffNS > 0 {
 		rep.FFSpeedup = detNS / ffNS
@@ -168,6 +204,11 @@ func cmdBench(w io.Writer, args []string) error {
 		cells, instrs/1e6, wall.Seconds(), rep.CellsPerSec, rep.NSPerInstr, rep.AllocsPerInstr)
 	fmt.Fprintf(w, "fast-forward: %.1f ns/instr vs %.0f ns/instr detailed SVR16 single-cell (%.0fx)\n",
 		ffNS, detNS, rep.FFSpeedup)
+	if mode != sim.ReplayOff {
+		fmt.Fprintf(w, "replay: %d cells replayed, %d live — %d recordings, %.1f MiB (%.2f B/instr)\n",
+			rep.ReplayCells, rep.LiveCells, rep.StreamRecordings,
+			float64(rep.StreamBytes)/(1<<20), rep.StreamBytesPerInstr)
+	}
 
 	if *baseF != "" {
 		basePath := resolveBaseline(*baseF)
@@ -248,6 +289,10 @@ func printBenchDelta(w io.Writer, path string, cur BenchReport) error {
 	if base.CkptShared != cur.CkptShared {
 		fmt.Fprintf(w, "  (warmup modes differ: baseline ckpt_shared=%v, current ckpt_shared=%v)\n",
 			base.CkptShared, cur.CkptShared)
+	}
+	if base.Replay != cur.Replay {
+		fmt.Fprintf(w, "  (stream modes differ: baseline replay=%q, current replay=%q)\n",
+			base.Replay, cur.Replay)
 	}
 	fmt.Fprintf(w, "  wall        %8.1fs -> %8.1fs  (%s)\n", base.WallSeconds, cur.WallSeconds, pct(cur.WallSeconds, base.WallSeconds))
 	fmt.Fprintf(w, "  cells/s     %8.2f -> %8.2f  (%s)\n", base.CellsPerSec, cur.CellsPerSec, pct(cur.CellsPerSec, base.CellsPerSec))

@@ -27,6 +27,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/stream"
 	"repro/internal/svr"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -110,6 +111,8 @@ run/all flags:
   -ff N              warmed functional fast-forward before each region
   -regions N         detailed regions per cell, stitched by fast-forward
   -ckpt              swap detailed warmup for a shared fast-forward checkpoint
+  -replay M          instruction-stream replay: on, off, or auto (default auto:
+                     record each window once, replay into every eligible cell)
   -timeseries F      sample every cell's counters into a per-interval CSV at F
   -sample N          sampling interval in instructions (default 100000)
   -status ADDR       serve live scheduler status on ADDR (/status, expvar, pprof)
@@ -124,6 +127,8 @@ bench flags:
   -baseline F        diff against a previous bench JSON (default BENCH_BASELINE.json,
                      falling back to the legacy BENCH_PR3.json; informational)
   -ckpt              run the grid with shared fast-forward checkpoints
+  -replay M          stream policy: off (default, comparable to old baselines)
+                     or on (record-once/replay-many composed with -ckpt)
   -cpuprofile F      write a CPU profile
   -memprofile F      write an allocation profile
   -full              paper-scale inputs instead of quick scale
@@ -150,6 +155,7 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 	ffF := fs.Uint64("ff", 0, "functionally fast-forward (with warming) this many instructions before each region")
 	regionsF := fs.Int("regions", 0, "detailed regions per cell, stitched by fast-forward")
 	ckptF := fs.Bool("ckpt", false, "replace detailed warmup with a shared functionally-warmed fast-forward checkpoint")
+	replayF := fs.String("replay", "auto", "instruction-stream replay: on, off, or auto (replay when eligible)")
 	tsF := fs.String("timeseries", "", "write per-interval counter samples of every cell to this CSV")
 	sampleF := fs.Uint64("sample", 100_000, "sampling interval in instructions (with -timeseries)")
 	statusF := fs.String("status", "", "serve live scheduler status on this address (e.g. :6060)")
@@ -194,6 +200,11 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 	if *wls != "" {
 		p.Workloads = strings.Split(*wls, ",")
 	}
+	mode, err := sim.ParseReplayMode(*replayF)
+	if err != nil {
+		return sim.ExpParams{}, nil, err
+	}
+	replayMode = mode
 	csvMode = *csvF
 	jsonMode = *jsonF || *metricsF // -metrics is JSON output with snapshots
 	metricsMode = *metricsF
@@ -209,9 +220,11 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 // csvMode / jsonMode switch run/all output format; metricsMode adds
 // per-cell metric snapshots to the JSON; coldMode disables the run cache;
 // timeseriesPath collects per-cell interval samples into a CSV;
-// statusAddr serves the live scheduler status (all set by expFlags).
+// statusAddr serves the live scheduler status; replayMode selects the
+// instruction-stream policy (all set by expFlags).
 var csvMode, jsonMode, metricsMode, coldMode bool
 var timeseriesPath, statusAddr string
+var replayMode sim.ReplayMode
 
 func printReport(w io.Writer, r *sim.Report) error {
 	if jsonMode {
@@ -292,6 +305,9 @@ func startProgressTicker(curExp *string) func() {
 				if st.Checkpointing > 0 {
 					ckpt = fmt.Sprintf(", %d checkpointing", st.Checkpointing)
 				}
+				if st.Recording > 0 {
+					ckpt += fmt.Sprintf(", %d recording", st.Recording)
+				}
 				progressMu.Lock()
 				fmt.Fprintf(os.Stderr, "\r%s: %d/%d done (%d queued, %d building%s, %d running%s)",
 					*curExp, st.Done, st.Cells, st.Queued, st.Building, ckpt, st.Running, statusSuffix())
@@ -310,6 +326,7 @@ func applyRunFlags(curExp *string) func() {
 	if coldMode {
 		prevCache = sim.SetRunCacheEnabled(false)
 	}
+	prevReplay := sim.SetReplayMode(replayMode)
 	prevMetrics := sim.SetCellMetrics(metricsMode)
 	prevSeries := sim.SetCellSeries(timeseriesPath != "")
 	sim.SetProgressHook(progressPrinter(curExp))
@@ -331,6 +348,7 @@ func applyRunFlags(curExp *string) func() {
 		sim.SetProgressHook(nil)
 		sim.SetCellSeries(prevSeries)
 		sim.SetCellMetrics(prevMetrics)
+		sim.SetReplayMode(prevReplay)
 		if coldMode {
 			sim.SetRunCacheEnabled(prevCache)
 		}
@@ -657,12 +675,12 @@ func cmdTrace(w io.Writer, args []string) error {
 	cpu := emu.New(inst.Prog, inst.Mem)
 	eng := svr.New(cfg.SVR, h, cpu)
 	core.Companion = eng
-	core.Run(cpu, *skip)
+	core.Run(stream.NewLive(cpu), *skip)
 
 	ring := trace.NewRing(*events)
 	core.Tracer = ring
 	eng.Tracer = ring
-	core.Run(cpu, *window)
+	core.Run(stream.NewLive(cpu), *window)
 
 	fmt.Fprintf(w, "trace of %s (SVR-%d), %d instructions after skipping %d:\n\n",
 		name, *n, *window, *skip)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cpu/inorder"
 	"repro/internal/emu"
 	"repro/internal/sim"
+	"repro/internal/stream"
 	"repro/internal/svr"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -70,7 +71,7 @@ func cmdTimeline(w io.Writer, args []string) error {
 	cpu := emu.New(inst.Prog, inst.Mem)
 	eng := svr.New(cfg.SVR, h, cpu)
 	core.Companion = eng
-	core.Run(cpu, *skip)
+	core.Run(stream.NewLive(cpu), *skip)
 
 	var sink trace.Sink
 	switch *format {
@@ -81,7 +82,7 @@ func cmdTimeline(w io.Writer, args []string) error {
 	}
 	core.Tracer = sink
 	eng.Tracer = sink
-	core.Run(cpu, *window)
+	core.Run(stream.NewLive(cpu), *window)
 
 	if cap, ok := sink.(*trace.Capture); ok {
 		if err := trace.WriteChromeTrace(dst, cap.Events, cfg.InO.Width); err != nil {

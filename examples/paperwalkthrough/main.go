@@ -15,6 +15,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/stream"
 	"repro/internal/svr"
 	"repro/internal/trace"
 )
@@ -139,12 +140,12 @@ func traceOneRound() {
 	cpu := emu.New(prog, m)
 	eng := svr.New(cfg.SVR, h, cpu)
 	core.Companion = eng
-	core.Run(cpu, 3000) // warm the stride detector
+	core.Run(stream.NewLive(cpu), 3000) // warm the stride detector
 
 	ring := trace.NewRing(64)
 	eng.Tracer = ring
 	for ring.Total() < 12 {
-		if core.Run(cpu, 100) == 0 {
+		if core.Run(stream.NewLive(cpu), 100) == 0 {
 			break
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/stream"
 )
 
 // stepProg is a tiny endless kernel exercising the emulator's ALU, load,
@@ -173,7 +174,7 @@ func TestCoreStepNoSinkDoesNotAllocate(t *testing.T) {
 	}
 	// Warm: fault in the kernel's pages and settle the caches so the timed
 	// runs measure steady state, not first-touch fills.
-	core.Run(cpu, 1<<15)
+	core.Run(stream.NewLive(cpu), 1<<15)
 	// The instruction record lives outside the closure, as it does across
 	// the iterations of Core.Run's loop.
 	var rec emu.DynInstr

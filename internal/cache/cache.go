@@ -58,7 +58,8 @@ type line struct {
 // Cache is one level of set-associative, write-back, write-allocate cache.
 type Cache struct {
 	Name     string
-	sets     []line // ways*numSets entries, set-major
+	sets     []line   // ways*numSets entries, set-major
+	tagp     []uint64 // packed scan array parallel to sets: tag+1, 0 = invalid
 	ways     int
 	setMask  uint64
 	setBits  uint
@@ -119,6 +120,7 @@ func NewCache(name string, sizeBytes, ways, mshrs int) *Cache {
 	c := &Cache{
 		Name:    name,
 		sets:    make([]line, numLines),
+		tagp:    make([]uint64, numLines),
 		ways:    ways,
 		setMask: uint64(numSets - 1),
 		setBits: setBits,
@@ -130,12 +132,28 @@ func NewCache(name string, sizeBytes, ways, mshrs int) *Cache {
 	return c
 }
 
-func (c *Cache) set(addr uint64) []line {
-	idx := (addr >> LineBits) & c.setMask
-	return c.sets[idx*uint64(c.ways) : (idx+1)*uint64(c.ways)]
+// setBase returns the flat index of addr's set's first way. The tag
+// match scans run over tagp[base:base+ways] — a dense uint64 run (one
+// cache line for 8 ways) instead of striding through the line structs;
+// only a match dereferences the full line. Fill is the sole mutator of
+// a way's identity, and it keeps tagp in sync.
+func (c *Cache) setBase(addr uint64) uint64 {
+	return ((addr >> LineBits) & c.setMask) * uint64(c.ways)
 }
 
 func (c *Cache) tag(addr uint64) uint64 { return addr >> (LineBits + c.setBits) }
+
+// rebuildTagp rederives the packed scan array from the line structs;
+// used after a warm-state restore overwrites sets wholesale.
+func (c *Cache) rebuildTagp() {
+	for i := range c.sets {
+		if c.sets[i].valid {
+			c.tagp[i] = c.sets[i].tag + 1
+		} else {
+			c.tagp[i] = 0
+		}
+	}
+}
 
 // Lookup probes the cache without filling. On hit it refreshes LRU state,
 // marks the line touched, and reports any prefetch origin the line carried
@@ -158,10 +176,10 @@ func (c *Cache) Lookup(addr uint64, write, markTouched bool) (hit bool, wasPrefe
 		return true, pf
 	}
 	tag := c.tag(addr)
-	set := c.set(addr)
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == tag {
+	base := c.setBase(addr)
+	for i, t := range c.tagp[base : base+uint64(c.ways)] {
+		if t == tag+1 {
+			l := &c.sets[base+uint64(i)]
 			c.lruClock++
 			l.lastUse = c.lruClock
 			if write {
@@ -193,10 +211,10 @@ func (c *Cache) Refresh(addr uint64) bool {
 		return true
 	}
 	tag := c.tag(addr)
-	set := c.set(addr)
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == tag {
+	base := c.setBase(addr)
+	for i, t := range c.tagp[base : base+uint64(c.ways)] {
+		if t == tag+1 {
+			l := &c.sets[base+uint64(i)]
 			c.Accesses++
 			c.lruClock++
 			l.lastUse = c.lruClock
@@ -213,8 +231,9 @@ func (c *Cache) Peek(addr uint64) bool {
 		return true
 	}
 	tag := c.tag(addr)
-	for _, l := range c.set(addr) {
-		if l.valid && l.tag == tag {
+	base := c.setBase(addr)
+	for _, t := range c.tagp[base : base+uint64(c.ways)] {
+		if t == tag+1 {
 			return true
 		}
 	}
@@ -234,22 +253,34 @@ type Victim struct {
 // prefetchOrigin < 0 marks a demand fill.
 func (c *Cache) Fill(addr uint64, dirty bool, prefetchOrigin Origin) Victim {
 	tag := c.tag(addr)
-	set := c.set(addr)
-	vi := 0
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == tag {
+	base := c.setBase(addr)
+	set := c.sets[base : base+uint64(c.ways)]
+	tp := c.tagp[base : base+uint64(c.ways)]
+	// Match and victim scans split (same selection rule as the fused
+	// loop: last invalid way, else first minimum lastUse): the first two
+	// passes run over the dense tagp row, and only a full set falls
+	// through to the strided lastUse min-scan.
+	vi := -1
+	for i, t := range tp {
+		if t == tag+1 {
 			// Already present (raced fill); just update.
+			l := &set[i]
 			if dirty {
 				l.dirty = true
 			}
 			c.fastLine, c.fastWay = addr>>LineBits+1, l
 			return Victim{}
 		}
-		if !l.valid {
+		if t == 0 {
 			vi = i
-		} else if set[vi].valid && l.lastUse < set[vi].lastUse {
-			vi = i
+		}
+	}
+	if vi < 0 {
+		vi = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[vi].lastUse {
+				vi = i
+			}
 		}
 	}
 	v := &set[vi]
@@ -265,6 +296,7 @@ func (c *Cache) Fill(addr uint64, dirty bool, prefetchOrigin Origin) Victim {
 	}
 	c.lruClock++
 	*v = line{tag: tag, valid: true, dirty: dirty, lastUse: c.lruClock, prefetch: prefetchOrigin, touched: false}
+	tp[vi] = tag + 1
 	// Repoint the last-line cache at the filled line. This also heals the
 	// one way the mapping can go stale: a fill is the only operation that
 	// changes which line a way holds.

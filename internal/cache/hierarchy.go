@@ -167,7 +167,7 @@ func (h *Hierarchy) translate(addr uint64, at int64) int64 {
 	if vpn := addr >> PageBits; d.fastVPN == vpn+1 {
 		d.Accesses++
 		d.clock++
-		d.fastEntry.lastUse = d.clock
+		d.lastUse[d.fastIdx] = d.clock
 		return at // D-TLB hit is pipelined with the L1 access
 	}
 	if d.Lookup(addr) {
@@ -319,7 +319,7 @@ func (h *Hierarchy) FetchInstr(addr uint64, at int64) (bubble int64) {
 		if c := h.L1I; c.fastLine == addr>>LineBits+1 {
 			it.Accesses++
 			it.clock++
-			it.fastEntry.lastUse = it.clock
+			it.lastUse[it.fastIdx] = it.clock
 			c.Accesses++
 			c.lruClock++
 			l := c.fastWay

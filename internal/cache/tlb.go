@@ -7,21 +7,28 @@ const PageBits = 12
 
 // TLB is a set-associative translation buffer with LRU replacement.
 // Fully-associative TLBs (the 16-entry D-TLB of Table III) use one set.
+//
+// Entries are stored structure-of-arrays: vpns holds each slot's vpn
+// plus one (zero = invalid slot) and lastUse its LRU timestamp, both
+// flat and set-major. The hit scan then touches one dense uint64 run —
+// a 16-way set is two cache lines — instead of striding through an
+// array of structs.
 type TLB struct {
 	Name    string
-	sets    [][]tlbEntry
+	vpns    []uint64 // ways*numSets slots, vpn+1 per slot, 0 = invalid
+	lastUse []uint64 // LRU timestamp per slot
 	ways    int
 	setMask uint64
 	clock   uint64
 
 	// Single-entry MRU cache: fastVPN is the last hit or inserted vpn
-	// plus one (zero = invalid), fastEntry its entry. The fast path in
-	// Lookup replays exactly the state updates of a scan hit, so LRU
-	// order and counters are bit-identical; Insert repoints it, which
-	// also heals the only way the mapping can go stale (an entry only
+	// plus one (zero = invalid), fastIdx its flat slot index. The fast
+	// path in Lookup replays exactly the state updates of a scan hit, so
+	// LRU order and counters are bit-identical; Insert repoints it, which
+	// also heals the only way the mapping can go stale (a slot only
 	// changes vpn in Insert).
-	fastVPN   uint64
-	fastEntry *tlbEntry
+	fastVPN uint64
+	fastIdx uint64
 
 	// Miss-to-Insert victim stash: a Lookup miss has already scanned the
 	// whole set, so it records the victim Insert's own scan would pick
@@ -42,12 +49,6 @@ func (t *TLB) Register(r *metrics.Registry, prefix string) {
 	r.Int64(prefix+".misses", t.Name+" lookup misses", &t.Misses)
 }
 
-type tlbEntry struct {
-	vpn     uint64
-	valid   bool
-	lastUse uint64
-}
-
 // NewTLB builds a TLB with the given number of entries and associativity.
 // entries must be a multiple of ways and the set count a power of two.
 func NewTLB(name string, entries, ways int) *TLB {
@@ -55,12 +56,17 @@ func NewTLB(name string, entries, ways int) *TLB {
 	if numSets == 0 || numSets&(numSets-1) != 0 {
 		panic("tlb: bad geometry")
 	}
-	sets := make([][]tlbEntry, numSets)
-	for i := range sets {
-		sets[i] = make([]tlbEntry, ways)
+	return &TLB{
+		Name:    name,
+		vpns:    make([]uint64, numSets*ways),
+		lastUse: make([]uint64, numSets*ways),
+		ways:    ways,
+		setMask: uint64(numSets - 1),
 	}
-	return &TLB{Name: name, sets: sets, ways: ways, setMask: uint64(numSets - 1)}
 }
+
+// setBase returns the flat index of the first slot of vpn's set.
+func (t *TLB) setBase(vpn uint64) uint64 { return (vpn & t.setMask) * uint64(t.ways) }
 
 // Lookup probes the TLB for the page containing addr.
 func (t *TLB) Lookup(addr uint64) bool {
@@ -68,15 +74,17 @@ func (t *TLB) Lookup(addr uint64) bool {
 	vpn := addr >> PageBits
 	if t.fastVPN == vpn+1 {
 		t.clock++
-		t.fastEntry.lastUse = t.clock
+		t.lastUse[t.fastIdx] = t.clock
 		return true
 	}
-	set := t.sets[vpn&t.setMask]
-	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
+	base := t.setBase(vpn)
+	keys := t.vpns[base : base+uint64(t.ways)]
+	for i, k := range keys {
+		if k == vpn+1 {
+			idx := base + uint64(i)
 			t.clock++
-			set[i].lastUse = t.clock
-			t.fastVPN, t.fastEntry = vpn+1, &set[i]
+			t.lastUse[idx] = t.clock
+			t.fastVPN, t.fastIdx = vpn+1, idx
 			return true
 		}
 	}
@@ -84,13 +92,23 @@ func (t *TLB) Lookup(addr uint64) bool {
 	// Miss: pick the victim the Insert that follows will need (same
 	// selection rule as Insert's scan — on a miss no entry matches, so
 	// the interleaved match checks are vacuous) while the set is hot.
-	// Kept off the hit path: hits pay nothing for the stash.
-	vi := 0
-	for i := range set {
-		if !set[i].valid {
+	// Kept off the hit path: hits pay nothing for the stash. Split form
+	// of the fused rule "last invalid slot, else first minimum lastUse":
+	// the zero-scan never fires once the set fills, leaving a tight
+	// min-scan in steady state.
+	vi := -1
+	for i, k := range keys {
+		if k == 0 {
 			vi = i
-		} else if set[vi].valid && set[i].lastUse < set[vi].lastUse {
-			vi = i
+		}
+	}
+	if vi < 0 {
+		use := t.lastUse[base : base+uint64(t.ways)]
+		vi = 0
+		for i := 1; i < len(use); i++ {
+			if use[i] < use[vi] {
+				vi = i
+			}
 		}
 	}
 	t.missVPN, t.missVictim = vpn+1, vi
@@ -105,32 +123,37 @@ func (t *TLB) Insert(addr uint64) {
 	if t.fastVPN == vpn+1 {
 		return
 	}
-	set := t.sets[vpn&t.setMask]
+	base := t.setBase(vpn)
+	keys := t.vpns[base : base+uint64(t.ways)]
 	if t.missVPN == vpn+1 {
 		// The preceding Lookup miss already picked this set's victim.
 		t.missVPN = 0
-		vi := t.missVictim
+		idx := base + uint64(t.missVictim)
 		t.clock++
-		set[vi] = tlbEntry{vpn: vpn, valid: true, lastUse: t.clock}
-		t.fastVPN, t.fastEntry = vpn+1, &set[vi]
+		t.vpns[idx] = vpn + 1
+		t.lastUse[idx] = t.clock
+		t.fastVPN, t.fastIdx = vpn+1, idx
 		return
 	}
 	t.missVPN = 0
+	use := t.lastUse[base : base+uint64(t.ways)]
 	vi := 0
-	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
-			t.fastVPN, t.fastEntry = vpn+1, &set[i]
+	for i, k := range keys {
+		if k == vpn+1 {
+			t.fastVPN, t.fastIdx = vpn+1, base+uint64(i)
 			return
 		}
-		if !set[i].valid {
+		if k == 0 {
 			vi = i
-		} else if set[vi].valid && set[i].lastUse < set[vi].lastUse {
+		} else if keys[vi] != 0 && use[i] < use[vi] {
 			vi = i
 		}
 	}
+	idx := base + uint64(vi)
 	t.clock++
-	set[vi] = tlbEntry{vpn: vpn, valid: true, lastUse: t.clock}
-	t.fastVPN, t.fastEntry = vpn+1, &set[vi]
+	t.vpns[idx] = vpn + 1
+	t.lastUse[idx] = t.clock
+	t.fastVPN, t.fastIdx = vpn+1, idx
 }
 
 // WalkerPool models the page-table walkers (4 in Table III) as a resource

@@ -128,8 +128,9 @@ type cacheState struct {
 }
 
 type tlbState struct {
-	sets  [][]tlbEntry
-	clock uint64
+	vpns    []uint64
+	lastUse []uint64
+	clock   uint64
 }
 
 // WarmState deep-copies the hierarchy's warm-relevant state. The
@@ -143,12 +144,10 @@ func (h *Hierarchy) WarmState() *HierarchyState {
 		dtlb:      captureTLB(h.DTLB),
 		itlb:      captureTLB(h.ITLB),
 		stlb:      captureTLB(h.STLB),
-		tags:      make(map[uint64]Origin, len(h.Tracker.tags)),
+		tags:      make(map[uint64]Origin, h.Tracker.Pending()),
 		lastILine: h.lastILine,
 	}
-	for a, o := range h.Tracker.tags {
-		s.tags[a] = o
-	}
+	h.Tracker.each(func(a uint64, o Origin) { s.tags[a] = o })
 	if h.Stride != nil {
 		s.stride = append([]strideEntry(nil), h.Stride.entries...)
 	}
@@ -172,11 +171,10 @@ func (h *Hierarchy) SetWarmState(s *HierarchyState) {
 		copy(h.Stride.entries, s.stride)
 	}
 	t := h.Tracker
-	clear(t.tags)
+	t.resetTags()
 	for a, o := range s.tags {
-		t.tags[a] = o
+		t.setTag(a, o)
 	}
-	t.lastMiss = 0
 	h.lastILine = s.lastILine
 }
 
@@ -185,9 +183,7 @@ func (s *HierarchyState) Bytes() int64 {
 	const lineBytes, tlbBytes, strideBytes, tagBytes = 48, 24, 48, 16
 	n := int64(len(s.l1d.sets)+len(s.l1i.sets)+len(s.l2.sets)) * lineBytes
 	for _, t := range [3]tlbState{s.dtlb, s.itlb, s.stlb} {
-		for _, set := range t.sets {
-			n += int64(len(set)) * tlbBytes
-		}
+		n += int64(len(t.vpns)) * tlbBytes
 	}
 	n += int64(len(s.stride)) * strideBytes
 	n += int64(len(s.tags)) * tagBytes
@@ -203,27 +199,27 @@ func restoreCache(c *Cache, s cacheState) {
 		panic("cache: warm-state geometry mismatch for " + c.Name)
 	}
 	copy(c.sets, s.sets)
+	c.rebuildTagp()
 	c.lruClock = s.lruClock
 	c.fastLine, c.fastWay = 0, nil
 }
 
 func captureTLB(t *TLB) tlbState {
-	s := tlbState{sets: make([][]tlbEntry, len(t.sets)), clock: t.clock}
-	for i, set := range t.sets {
-		s.sets[i] = append([]tlbEntry(nil), set...)
+	return tlbState{
+		vpns:    append([]uint64(nil), t.vpns...),
+		lastUse: append([]uint64(nil), t.lastUse...),
+		clock:   t.clock,
 	}
-	return s
 }
 
 func restoreTLB(t *TLB, s tlbState) {
-	if len(t.sets) != len(s.sets) {
+	if len(t.vpns) != len(s.vpns) {
 		panic("tlb: warm-state geometry mismatch for " + t.Name)
 	}
-	for i, set := range s.sets {
-		copy(t.sets[i], set)
-	}
+	copy(t.vpns, s.vpns)
+	copy(t.lastUse, s.lastUse)
 	t.clock = s.clock
-	t.fastVPN, t.fastEntry = 0, nil
+	t.fastVPN, t.fastIdx = 0, 0
 	t.missVPN = 0
 }
 
@@ -254,11 +250,9 @@ func (c *Cache) Lines() []LineInfo {
 // TLB counterpart of Lines.
 func (t *TLB) VPNs() []uint64 {
 	var out []uint64
-	for _, set := range t.sets {
-		for _, e := range set {
-			if e.valid {
-				out = append(out, e.vpn)
-			}
+	for _, k := range t.vpns {
+		if k != 0 {
+			out = append(out, k-1)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

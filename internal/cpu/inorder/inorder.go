@@ -15,6 +15,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/stats"
+	"repro/internal/stream"
 	"repro/internal/trace"
 )
 
@@ -394,12 +395,15 @@ func (c *Core) NormalizedStack() stats.CPIStack {
 	return s
 }
 
-// Run drives the emulator through the core for up to maxInstr
-// instructions, returning the number executed.
-func (c *Core) Run(cpu *emu.CPU, maxInstr uint64) uint64 {
+// Run pulls up to maxInstr instructions from the source through the
+// core, returning the number executed. The source is either a live
+// emulator (stream.LiveSource) or a pre-recorded stream replay
+// (stream.ReplaySource); the core is agnostic — it consumes DynInstr
+// records either way.
+func (c *Core) Run(src stream.InstrSource, maxInstr uint64) uint64 {
 	var rec emu.DynInstr
 	var n uint64
-	for n < maxInstr && cpu.Step(&rec) {
+	for n < maxInstr && src.Next(&rec) {
 		c.Issue(&rec)
 		n++
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/stats"
+	"repro/internal/stream"
 )
 
 func newCore() *Core {
@@ -19,7 +20,7 @@ func newCore() *Core {
 func run(t *testing.T, p *isa.Program, m *mem.Memory, core *Core) *emu.CPU {
 	t.Helper()
 	cpu := emu.New(p, m)
-	core.Run(cpu, 1<<22)
+	core.Run(stream.NewLive(cpu), 1<<22)
 	if !cpu.Halted() {
 		t.Fatal("program did not halt")
 	}
@@ -145,7 +146,7 @@ func TestPointerChaseCPIHigh(t *testing.T) {
 
 	core := newCore()
 	cpu := emu.New(b.Build(), m)
-	core.Run(cpu, 60000)
+	core.Run(stream.NewLive(cpu), 60000)
 	if cpi := core.CPI(); cpi < 20 {
 		t.Errorf("pointer-chase CPI = %.1f, want > 20 (DRAM-bound)", cpi)
 	}
@@ -260,12 +261,12 @@ func TestResetStatsWindows(t *testing.T) {
 	b.Halt()
 	core := newCore()
 	cpu := emu.New(b.Build(), mem.New())
-	core.Run(cpu, 50)
+	core.Run(stream.NewLive(cpu), 50)
 	core.H.Reg.Reset()
 	if core.Instrs != 0 || core.Cycles() != 0 {
 		t.Fatalf("stats not reset: %d instrs %d cycles", core.Instrs, core.Cycles())
 	}
-	core.Run(cpu, 20)
+	core.Run(stream.NewLive(cpu), 20)
 	if core.Instrs != 20 {
 		t.Errorf("windowed instrs = %d", core.Instrs)
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/stats"
+	"repro/internal/stream"
 	"repro/internal/trace"
 )
 
@@ -379,11 +380,12 @@ func (c *Core) NormalizedStack() stats.CPIStack {
 	return s
 }
 
-// Run drives the emulator through the core for up to maxInstr instructions.
-func (c *Core) Run(cpu *emu.CPU, maxInstr uint64) uint64 {
+// Run pulls up to maxInstr instructions from the source (live emulator
+// or recorded-stream replay) through the core.
+func (c *Core) Run(src stream.InstrSource, maxInstr uint64) uint64 {
 	var rec emu.DynInstr
 	var n uint64
-	for n < maxInstr && cpu.Step(&rec) {
+	for n < maxInstr && src.Next(&rec) {
 		c.Issue(&rec)
 		n++
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/stream"
 	"repro/internal/trace"
 )
 
@@ -20,7 +21,7 @@ func hcfg() cache.Config {
 func runP(t *testing.T, p *isa.Program, m *mem.Memory, core *Core) {
 	t.Helper()
 	cpu := emu.New(p, m)
-	core.Run(cpu, 1<<22)
+	core.Run(stream.NewLive(cpu), 1<<22)
 	if !cpu.Halted() {
 		t.Fatal("program did not halt")
 	}
@@ -88,7 +89,7 @@ func TestOoOBeatsInOrderOnIndirect(t *testing.T) {
 	_ = data2
 	i := inorder.New(inorder.DefaultConfig(), cache.NewHierarchy(hcfg()))
 	cpu := emu.New(buildStrideIndirect(idx2, data2, 1<<14), m2)
-	i.Run(cpu, 1<<22)
+	i.Run(stream.NewLive(cpu), 1<<22)
 
 	ratio := i.CPI() / o.CPI()
 	if ratio < 1.5 {
@@ -146,7 +147,7 @@ func TestStoreToLoadOrdering(t *testing.T) {
 	b.Halt()
 	core := New(DefaultConfig(), cache.NewHierarchy(hcfg()))
 	cpu := emu.New(b.Build(), m)
-	core.Run(cpu, 100)
+	core.Run(stream.NewLive(cpu), 100)
 	if cpu.Reg(3) != 42 {
 		t.Fatalf("functional: r3 = %d", cpu.Reg(3))
 	}
@@ -209,12 +210,12 @@ func TestResetStats(t *testing.T) {
 	b.Halt()
 	core := New(DefaultConfig(), cache.NewHierarchy(hcfg()))
 	cpu := emu.New(b.Build(), mem.New())
-	core.Run(cpu, 50)
+	core.Run(stream.NewLive(cpu), 50)
 	core.H.Reg.Reset()
 	if core.Instrs != 0 || core.Cycles() != 0 {
 		t.Fatal("stats not cleared")
 	}
-	core.Run(cpu, 20)
+	core.Run(stream.NewLive(cpu), 20)
 	if core.Instrs != 20 || core.Cycles() <= 0 {
 		t.Errorf("window: %d instrs, %d cycles", core.Instrs, core.Cycles())
 	}
@@ -230,7 +231,7 @@ func TestOoOTracer(t *testing.T) {
 	ring := trace.NewRing(64)
 	core.Tracer = ring
 	cpu := emu.New(b.Build(), mem.New())
-	core.Run(cpu, 100)
+	core.Run(stream.NewLive(cpu), 100)
 	if ring.Total() != 22 { // 11 instrs x (issue + complete)
 		t.Errorf("trace events = %d, want 22", ring.Total())
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/stream"
 )
 
 // buildStrideIndirect emits sum += data[idx[i]] — IMP's ideal pattern.
@@ -56,7 +57,7 @@ func runIMP(t *testing.T, p *isa.Program, m *mem.Memory, withIMP bool) (*inorder
 		pf = New(DefaultConfig(), h, m)
 		core.Companion = pf
 	}
-	core.Run(cpu, 1<<22)
+	core.Run(stream.NewLive(cpu), 1<<22)
 	return core, pf
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/stream"
 	"repro/internal/workloads"
 )
 
@@ -78,6 +79,12 @@ func (w *hierWarmer) WarmStore(pc int, addr uint64) { w.h.WarmAccess(pc, addr, t
 func (w *hierWarmer) WarmBranch(pc int, taken bool) { w.bp.Predict(pc, taken) }
 
 func (m *inOrderMachine) FastForward(n uint64, warm bool) bool {
+	if rs, ok := m.src.(*stream.ReplaySource); ok {
+		// A replay-fed machine fast-forwards by discarding records: the
+		// emulator is not in the loop (warming is likewise unavailable —
+		// the scheduler only attaches replays past the fast-forward point).
+		return rs.Skip(n) == n
+	}
 	if !warm {
 		return m.cpu.FastForward(n) == n
 	}
@@ -110,6 +117,9 @@ func (m *inOrderMachine) Restore(ck *Checkpoint) {
 }
 
 func (m *oooMachine) FastForward(n uint64, warm bool) bool {
+	if rs, ok := m.src.(*stream.ReplaySource); ok {
+		return rs.Skip(n) == n
+	}
 	if !warm {
 		return m.cpu.FastForward(n) == n
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/imp"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/internal/stream"
 	"repro/internal/svr"
 	"repro/internal/workloads"
 )
@@ -59,23 +60,68 @@ type Machine interface {
 	// must be freshly built over a clone of the checkpointed memory;
 	// NewMachineFrom does both.
 	Restore(ck *Checkpoint)
+	// SetSource replaces the machine's instruction feed with src — the
+	// execute-once, time-many hook: the scheduler attaches a
+	// stream.ReplaySource decoded from a shared recording instead of the
+	// default live emulator. Only valid before any stepping. Panics for
+	// live-only machines (SVR): their timing feeds back into the
+	// functional path, so they cannot consume a recorded stream.
+	SetSource(src stream.InstrSource)
 }
+
+// StreamNeeds classifies what a core kind requires of its instruction
+// stream, which decides how (and whether) the scheduler can replay a
+// shared recording into its cells.
+type StreamNeeds int
+
+// Stream requirement classes.
+const (
+	// StreamPure consumers read DynInstr records and nothing else
+	// (in-order and out-of-order cores): replay needs no memory image.
+	StreamPure StreamNeeds = iota
+	// StreamMemory consumers dereference data memory ahead of the stream
+	// (the IMP prefetcher chasing indirections): replay needs a private
+	// memory image kept in lockstep by applying decoded stores.
+	StreamMemory
+	// StreamLive consumers feed timing back into the functional path
+	// (SVR's register scavenging and runahead loads): the cell must run
+	// live and the scheduler falls back to a LiveSource transparently.
+	StreamLive
+)
 
 // MachineFactory builds a machine of one kind over a pre-built hierarchy.
 type MachineFactory func(cfg Config, inst *workloads.Instance, h *cache.Hierarchy) Machine
 
-// machineFactories maps core kinds to constructors. New organizations
-// register here instead of growing a switch in the runner.
-var machineFactories = map[CoreKind]MachineFactory{}
+type machineEntry struct {
+	factory MachineFactory
+	needs   StreamNeeds
+}
 
-// RegisterMachine installs the factory for a core kind.
-func RegisterMachine(kind CoreKind, f MachineFactory) { machineFactories[kind] = f }
+// machineFactories maps core kinds to constructors plus their stream
+// requirements. New organizations register here instead of growing a
+// switch in the runner.
+var machineFactories = map[CoreKind]machineEntry{}
+
+// RegisterMachine installs the factory for a core kind and declares what
+// the kind requires of its instruction stream.
+func RegisterMachine(kind CoreKind, f MachineFactory, needs StreamNeeds) {
+	machineFactories[kind] = machineEntry{factory: f, needs: needs}
+}
+
+// StreamNeedsOf reports the stream requirement of a core kind.
+// Unregistered kinds report StreamLive — the safe fallback.
+func StreamNeedsOf(kind CoreKind) StreamNeeds {
+	if e, ok := machineFactories[kind]; ok {
+		return e.needs
+	}
+	return StreamLive
+}
 
 func init() {
-	RegisterMachine(InO, newInOrderMachine)
-	RegisterMachine(IMP, newInOrderMachine)
-	RegisterMachine(SVR, newInOrderMachine)
-	RegisterMachine(OoO, newOoOMachine)
+	RegisterMachine(InO, newInOrderMachine, StreamPure)
+	RegisterMachine(IMP, newInOrderMachine, StreamMemory)
+	RegisterMachine(SVR, newInOrderMachine, StreamLive)
+	RegisterMachine(OoO, newOoOMachine, StreamPure)
 }
 
 // NewMachine builds the configured machine with a private memory
@@ -100,11 +146,11 @@ func NewMachineShared(cfg Config, inst *workloads.Instance, ch *dram.Channel) (M
 }
 
 func factoryFor(cfg Config) (MachineFactory, error) {
-	f, ok := machineFactories[cfg.Core]
+	e, ok := machineFactories[cfg.Core]
 	if !ok {
 		return nil, fmt.Errorf("sim: no machine registered for core kind %d", cfg.Core)
 	}
-	return f, nil
+	return e.factory, nil
 }
 
 // Simulate drives a machine through the standard warmup → reset →
@@ -147,6 +193,7 @@ type inOrderMachine struct {
 	inst   *workloads.Instance
 	h      *cache.Hierarchy
 	cpu    *emu.CPU
+	src    stream.InstrSource // the core's instruction feed: live CPU by default, replay when attached
 	core   *inorder.Core
 	eng    *svr.Engine // non-nil only for SVR
 	warmed bool        // a warmed fast-forward ran; Checkpoint snapshots hierarchy state
@@ -160,6 +207,7 @@ func newInOrderMachine(cfg Config, inst *workloads.Instance, h *cache.Hierarchy)
 		cpu:  emu.New(inst.Prog, inst.Mem),
 		core: inorder.New(cfg.InO, h),
 	}
+	m.src = stream.NewLive(m.cpu)
 	switch cfg.Core {
 	case IMP:
 		m.core.Companion = imp.New(cfg.IMP, h, inst.Mem)
@@ -170,9 +218,16 @@ func newInOrderMachine(cfg Config, inst *workloads.Instance, h *cache.Hierarchy)
 	return m
 }
 
-func (m *inOrderMachine) Step(n uint64) bool { return m.core.Run(m.cpu, n) == n }
-func (m *inOrderMachine) Instrs() uint64     { return m.core.Instrs }
-func (m *inOrderMachine) Now() int64         { return m.core.Now() }
+func (m *inOrderMachine) Step(n uint64) bool { return m.core.Run(m.src, n) == n }
+
+func (m *inOrderMachine) SetSource(src stream.InstrSource) {
+	if m.eng != nil {
+		panic("sim: SVR machines are live-only; cannot attach a replay source")
+	}
+	m.src = src
+}
+func (m *inOrderMachine) Instrs() uint64 { return m.core.Instrs }
+func (m *inOrderMachine) Now() int64     { return m.core.Now() }
 
 func (m *inOrderMachine) Registry() *metrics.Registry { return m.h.Reg }
 func (m *inOrderMachine) ResetStats()                 { m.h.Reg.Reset() }
@@ -201,23 +256,28 @@ type oooMachine struct {
 	inst   *workloads.Instance
 	h      *cache.Hierarchy
 	cpu    *emu.CPU
+	src    stream.InstrSource // live CPU by default, replay when attached
 	core   *ooo.Core
 	warmed bool // a warmed fast-forward ran; Checkpoint snapshots hierarchy state
 }
 
 func newOoOMachine(cfg Config, inst *workloads.Instance, h *cache.Hierarchy) Machine {
-	return &oooMachine{
+	m := &oooMachine{
 		cfg:  cfg,
 		inst: inst,
 		h:    h,
 		cpu:  emu.New(inst.Prog, inst.Mem),
 		core: ooo.New(cfg.OoO, h),
 	}
+	m.src = stream.NewLive(m.cpu)
+	return m
 }
 
-func (m *oooMachine) Step(n uint64) bool { return m.core.Run(m.cpu, n) == n }
-func (m *oooMachine) Instrs() uint64     { return m.core.Instrs }
-func (m *oooMachine) Now() int64         { return m.core.Now() }
+func (m *oooMachine) Step(n uint64) bool { return m.core.Run(m.src, n) == n }
+
+func (m *oooMachine) SetSource(src stream.InstrSource) { m.src = src }
+func (m *oooMachine) Instrs() uint64                   { return m.core.Instrs }
+func (m *oooMachine) Now() int64                       { return m.core.Now() }
 
 func (m *oooMachine) Registry() *metrics.Registry { return m.h.Reg }
 func (m *oooMachine) ResetStats()                 { m.h.Reg.Reset() }

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func replayTestParams() Params {
+	return Params{Scale: workloads.TinyScale(), Warmup: 20_000, Measure: 60_000}
+}
+
+// TestReplayMatchesLive is the fidelity contract of execute-once,
+// time-many: for every core kind, a cell fed by a ReplaySource must
+// produce a bit-identical Result to the same cell running its emulator
+// live — and the live-only kind (SVR) must be detected as such.
+func TestReplayMatchesLive(t *testing.T) {
+	spec, err := workloads.Get("PR_KR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := replayTestParams()
+	for _, kind := range []CoreKind{InO, IMP, OoO, SVR} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := MachineConfig(kind)
+			live := Run(spec, cfg, p)
+
+			if StreamNeedsOf(kind) == StreamLive {
+				if replayEligible(cfg, p) {
+					t.Fatal("live-only kind reported replay-eligible")
+				}
+				// The machine itself must refuse a replay source rather
+				// than silently desynchronize.
+				m, err := NewMachine(cfg, spec.Build(p.Scale))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer func() {
+					if recover() == nil {
+						t.Fatal("SetSource on a live-only machine did not panic")
+					}
+				}()
+				m.SetSource(nil)
+				return
+			}
+
+			recd := cachedRecording(spec, cfg, p)
+			if recd.N != p.Warmup+p.Measure {
+				t.Fatalf("recording has %d records, want %d", recd.N, p.Warmup+p.Measure)
+			}
+			m, err := newReplayMachine(cfg, spec, p, recd, cachedBuild(spec, p.Scale))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := Simulate(m, p)
+			if !reflect.DeepEqual(live, rep) {
+				t.Errorf("replay Result differs from live:\nlive %+v\nreplay %+v", live, rep)
+			}
+		})
+	}
+}
+
+// TestReplayMatchesLiveCheckpointed covers the composed path the bench
+// uses: record from the post-fast-forward point of a functionally-warmed
+// shared checkpoint, replay into cells restored from the same
+// checkpoint, and require bit-identical Results against the live
+// checkpointed path.
+func TestReplayMatchesLiveCheckpointed(t *testing.T) {
+	spec, err := workloads.Get("Randacc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{
+		Scale:       workloads.TinyScale(),
+		FastForward: 20_000,
+		Warm:        true,
+		Measure:     60_000,
+	}
+	for _, kind := range []CoreKind{InO, IMP, OoO} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := MachineConfig(kind)
+
+			ck := cachedCheckpoint(spec, cfg, p)
+			liveM, err := NewMachineFrom(cfg, ck)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := SimulateFrom(liveM, p)
+
+			recd := cachedRecording(spec, cfg, p)
+			repM, err := newReplayMachine(cfg, spec, p, recd, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := SimulateFrom(repM, p)
+			if !reflect.DeepEqual(live, rep) {
+				t.Errorf("replay Result differs from live:\nlive %+v\nreplay %+v", live, rep)
+			}
+		})
+	}
+}
+
+// TestMatrixReplayMatchesLive runs a small grid cold with replay off and
+// again with replay on, asserting every cell Result is bit-identical and
+// the scheduler accounted the replay/live split correctly (SVR cells
+// fall back to live).
+func TestMatrixReplayMatchesLive(t *testing.T) {
+	prevCache := SetRunCacheEnabled(false)
+	defer SetRunCacheEnabled(prevCache)
+	prevMode := SetReplayMode(ReplayOff)
+	defer SetReplayMode(prevMode)
+
+	var specs []workloads.Spec
+	for _, name := range []string{"PR_KR", "Randacc"} {
+		spec, err := workloads.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, spec)
+	}
+	cfgs := []Config{
+		MachineConfig(InO), MachineConfig(IMP), MachineConfig(OoO), SVRConfig(16),
+	}
+	p := replayTestParams()
+
+	liveRS := runMatrix(cfgs, specs, p)
+	SetReplayMode(ReplayOn)
+	repRS := runMatrix(cfgs, specs, p)
+
+	if want := 3 * len(specs); repRS.Stats.Replayed != want {
+		t.Errorf("replayed %d cells, want %d", repRS.Stats.Replayed, want)
+	}
+	if liveRS.Stats.Replayed != 0 {
+		t.Errorf("replay-off run replayed %d cells", liveRS.Stats.Replayed)
+	}
+	for _, c := range repRS.Cells {
+		if replayed := c.Label != "SVR16"; c.Replayed != replayed {
+			t.Errorf("cell %s/%s: Replayed=%v, want %v", c.Label, c.Workload, c.Replayed, replayed)
+		}
+	}
+	for _, cfg := range cfgs {
+		for _, spec := range specs {
+			live, _ := liveRS.Get(cfg.Label, spec.Name)
+			rep, _ := repRS.Get(cfg.Label, spec.Name)
+			if !reflect.DeepEqual(live, rep) {
+				t.Errorf("cell %s/%s differs between replay-off and replay-on runs",
+					cfg.Label, spec.Name)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/mem"
+	"repro/internal/stream"
 	"repro/internal/workloads"
 )
 
@@ -111,6 +112,7 @@ type CellEvent struct {
 	Label    string        // configuration label
 	Workload string        // workload name
 	Cached   bool          // served from the run cache
+	Replayed bool          // consumed a recorded stream instead of a live emulator
 	Wall     time.Duration // wall time spent on the cell
 	Instrs   uint64        // instructions the cell simulated (its Result's window)
 	Done     int           // cells finished in the current matrix
@@ -144,16 +146,19 @@ func emitProgress(ev CellEvent) {
 // grid.
 var gridState struct {
 	sync.Mutex
-	active   bool
-	start    time.Time
-	cells    int
-	done     int
-	cached   int
-	building int // workers constructing a workload image / machine
-	ckpt     int // workers producing a shared fast-forward checkpoint
-	running  int // workers inside Simulate
-	instrs   uint64
-	ckptWall time.Duration // completed checkpoint-production wall time
+	active    bool
+	start     time.Time
+	cells     int
+	done      int
+	cached    int
+	replayed  int // of done, cells fed by a recorded stream
+	building  int // workers constructing a workload image / machine
+	ckpt      int // workers producing a shared fast-forward checkpoint
+	recording int // workers producing a shared stream recording
+	running   int // workers inside Simulate
+	instrs    uint64
+	ckptWall  time.Duration // completed checkpoint-production wall time
+	recWall   time.Duration // completed recording-production wall time
 }
 
 // GridStatus is a point-in-time snapshot of the scheduler.
@@ -163,12 +168,16 @@ type GridStatus struct {
 	Queued        int           // not yet picked up by a worker
 	Building      int           // constructing workload image / machine
 	Checkpointing int           // producing a shared fast-forward checkpoint
+	Recording     int           // producing a shared stream recording
 	Running       int           // simulating
 	Done          int           // finished (simulated or cached)
 	Cached        int           // of Done, served from the run cache
+	Replayed      int           // of Done, fed by a recorded stream
 	Instrs        uint64        // instructions simulated by finished cells
+	StreamBytes   int64         // encoded stream bytes produced so far (process-wide)
 	Elapsed       time.Duration // since the matrix started
 	CkptWall      time.Duration // wall time spent producing checkpoints so far
+	RecWall       time.Duration // wall time spent producing recordings so far
 	Rate          float64       // instructions per wall-second so far
 	ETA           time.Duration // projected time to finish, 0 if unknown
 }
@@ -180,11 +189,13 @@ func CurrentStatus() GridStatus {
 	s := GridStatus{
 		Active: gridState.active, Cells: gridState.cells,
 		Building: gridState.building, Checkpointing: gridState.ckpt,
-		Running: gridState.running,
-		Done:    gridState.done, Cached: gridState.cached, Instrs: gridState.instrs,
-		CkptWall: gridState.ckptWall,
+		Recording: gridState.recording, Running: gridState.running,
+		Done: gridState.done, Cached: gridState.cached,
+		Replayed: gridState.replayed, Instrs: gridState.instrs,
+		CkptWall: gridState.ckptWall, RecWall: gridState.recWall,
 	}
-	s.Queued = s.Cells - s.Done - s.Building - s.Checkpointing - s.Running
+	s.StreamBytes = RecordingStats().Bytes
+	s.Queued = s.Cells - s.Done - s.Building - s.Checkpointing - s.Recording - s.Running
 	if s.Queued < 0 {
 		s.Queued = 0
 	}
@@ -194,10 +205,11 @@ func CurrentStatus() GridStatus {
 			s.Rate = float64(s.Instrs) / sec
 		}
 		if s.Done > 0 && s.Done < s.Cells {
-			// Checkpoint production is a one-time shared cost, not a
-			// per-cell one: project from per-cell time with it excluded,
-			// so ETA doesn't jump when a fast-forward finishes.
-			perCell := s.Elapsed - s.CkptWall
+			// Checkpoint and recording production are one-time shared
+			// costs, not per-cell ones: project from per-cell time with
+			// them excluded, so ETA doesn't jump when a shared pass
+			// finishes.
+			perCell := s.Elapsed - s.CkptWall - s.RecWall
 			if perCell < 0 {
 				perCell = 0
 			}
@@ -212,10 +224,10 @@ func gridBegin(cells int) {
 	gridState.active = true
 	gridState.start = time.Now()
 	gridState.cells = cells
-	gridState.done, gridState.cached = 0, 0
-	gridState.building, gridState.ckpt, gridState.running = 0, 0, 0
+	gridState.done, gridState.cached, gridState.replayed = 0, 0, 0
+	gridState.building, gridState.ckpt, gridState.recording, gridState.running = 0, 0, 0, 0
 	gridState.instrs = 0
-	gridState.ckptWall = 0
+	gridState.ckptWall, gridState.recWall = 0, 0
 	gridState.Unlock()
 }
 
@@ -244,11 +256,33 @@ func gridCkptEnd(d time.Duration) {
 	gridState.Unlock()
 }
 
-func gridCellDone(cached bool, instrs uint64) {
+// gridRecBegin/gridRecEnd are the recording-pass analogue of
+// gridCkptBegin/gridCkptEnd: the producing worker leaves "building" for
+// the distinct "recording" phase, and its production time is banked so
+// the ETA projection treats it as a shared one-time cost.
+func gridRecBegin() {
+	gridState.Lock()
+	gridState.building--
+	gridState.recording++
+	gridState.Unlock()
+}
+
+func gridRecEnd(d time.Duration) {
+	gridState.Lock()
+	gridState.recording--
+	gridState.building++
+	gridState.recWall += d
+	gridState.Unlock()
+}
+
+func gridCellDone(cached, replayed bool, instrs uint64) {
 	gridState.Lock()
 	gridState.done++
 	if cached {
 		gridState.cached++
+	}
+	if replayed {
+		gridState.replayed++
 	}
 	gridState.instrs += instrs
 	gridState.Unlock()
@@ -265,20 +299,24 @@ type CellStat struct {
 	Label    string
 	Workload string
 	Cached   bool
+	Replayed bool // fed by a recorded stream instead of a live emulator
 	Wall     time.Duration
 }
 
 // SchedStats aggregates scheduler counters: how many cells an experiment
-// ran, how many the memo served, and the wall time spent.
+// ran, how many the memo served, how many consumed a recorded stream,
+// and the wall time spent.
 type SchedStats struct {
-	Cells  int
-	Cached int
-	Wall   time.Duration
+	Cells    int
+	Cached   int
+	Replayed int
+	Wall     time.Duration
 }
 
 func (s *SchedStats) add(o SchedStats) {
 	s.Cells += o.Cells
 	s.Cached += o.Cached
+	s.Replayed += o.Replayed
 	s.Wall += o.Wall
 }
 
@@ -316,6 +354,7 @@ func (rs *ResultSet) JSON() ([]byte, error) {
 		Label    string
 		Workload string
 		Cached   bool
+		Replayed bool
 		WallNS   int64
 		Result   Result
 	}
@@ -327,7 +366,8 @@ func (rs *ResultSet) JSON() ([]byte, error) {
 		res := rs.rows[c.Label][c.Workload]
 		out.Cells = append(out.Cells, cellJSON{
 			Label: c.Label, Workload: c.Workload,
-			Cached: c.Cached, WallNS: c.Wall.Nanoseconds(), Result: res,
+			Cached: c.Cached, Replayed: c.Replayed,
+			WallNS: c.Wall.Nanoseconds(), Result: res,
 		})
 	}
 	return json.MarshalIndent(out, "", "  ")
@@ -350,14 +390,18 @@ func (e *masterEntry) instance(spec workloads.Spec, sc workloads.Scale) *workloa
 
 // buildKey identifies one deterministic cacheable image. Raw workload
 // builds are pure functions of (generator, scale), so name+scale is a
-// content key (ff and warm stay zero). Post-fast-forward checkpoints
-// additionally depend on the fast-forward length and — when warming —
-// on the warm-relevant machine geometry (warmKey).
+// content key (ff, warm and stream stay zero). Post-fast-forward
+// checkpoints additionally depend on the fast-forward length and — when
+// warming — on the warm-relevant machine geometry (warmKey). Stream
+// recordings depend on the fast-forward length and the recorded window
+// size, never on warm geometry: the functional stream is the same
+// whatever the caches look like.
 type buildKey struct {
-	name  string
-	scale workloads.Scale
-	ff    uint64 // 0: raw image; >0: checkpoint after ff instructions
-	warm  string // warm-geometry hash when the fast-forward warmed, else ""
+	name   string
+	scale  workloads.Scale
+	ff     uint64 // 0: raw image; >0: checkpoint/recording after ff instructions
+	warm   string // warm-geometry hash when the fast-forward warmed, else ""
+	stream uint64 // recorded window length for stream recordings, else 0
 }
 
 // buildCache memoizes workload images — and, since the checkpoint layer,
@@ -388,6 +432,8 @@ func entryBytes(v any) int64 {
 		return instanceBytes(e)
 	case *Checkpoint:
 		return e.Bytes()
+	case *stream.Recording:
+		return int64(e.Bytes())
 	}
 	return 0
 }
@@ -584,9 +630,32 @@ func runMatrix(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet {
 			cellStart := time.Now()
 			key := hashCell(cfg, spec.Name, p)
 			res, cached := cacheGet(key)
+			replayed := false
 			if !cached {
 				gridPhase(+1, 0)
-				if p.FastForward > 0 {
+				switch {
+				case replayEligible(cfg, p):
+					// Execute-once, time-many path: the workload window is
+					// recorded once (cachedRecording, composing with the
+					// shared checkpoint when fast-forwarding) and this cell
+					// replays the buffer through its timing models.
+					replayed = true
+					recd := cachedRecording(spec, cfg, p)
+					var master *workloads.Instance
+					if p.FastForward == 0 {
+						master = masters[c.wi].instance(spec, p.Scale)
+					}
+					m, err := newReplayMachine(cfg, spec, p, recd, master)
+					if err != nil {
+						panic(err)
+					}
+					gridPhase(-1, +1)
+					if p.FastForward > 0 {
+						res = SimulateFrom(m, p)
+					} else {
+						res = Simulate(m, p)
+					}
+				case p.FastForward > 0:
 					// Shared-checkpoint path: the workload's fast-forward
 					// runs once (cachedCheckpoint) and every cell resumes
 					// from a clone of its frozen image.
@@ -597,7 +666,7 @@ func runMatrix(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet {
 					}
 					gridPhase(-1, +1)
 					res = SimulateFrom(m, p)
-				} else {
+				default:
 					inst := cloneInstance(masters[c.wi].instance(spec, p.Scale))
 					m, err := NewMachine(cfg, inst)
 					if err != nil {
@@ -620,17 +689,22 @@ func runMatrix(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet {
 			}
 			rs.rows[cfg.Label][spec.Name] = res
 			rs.Cells = append(rs.Cells, CellStat{
-				Label: cfg.Label, Workload: spec.Name, Cached: cached, Wall: wall,
+				Label: cfg.Label, Workload: spec.Name, Cached: cached,
+				Replayed: replayed, Wall: wall,
 			})
 			rs.Stats.Cells++
 			if cached {
 				rs.Stats.Cached++
 			}
+			if replayed {
+				rs.Stats.Replayed++
+			}
 			done++
 			ev := CellEvent{Label: cfg.Label, Workload: spec.Name, Cached: cached,
-				Wall: wall, Instrs: res.Instrs, Done: done, Cells: len(cells)}
+				Replayed: replayed,
+				Wall:     wall, Instrs: res.Instrs, Done: done, Cells: len(cells)}
 			mu.Unlock()
-			gridCellDone(cached, res.Instrs)
+			gridCellDone(cached, replayed, res.Instrs)
 			emitProgress(ev)
 		}()
 	}

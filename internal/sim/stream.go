@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/emu"
+	"repro/internal/stream"
+	"repro/internal/workloads"
+)
+
+// This file is the scheduler side of execute-once, time-many: one
+// functional recording pass per workload window (cachedRecording, under
+// the same build-cache/singleflight machinery as the shared
+// checkpoints), fanned out to every replay-eligible sibling cell
+// (newReplayMachine). Core kinds declare their stream requirement at
+// registration (StreamNeeds); SVR cells fall back to a live source
+// transparently.
+
+// ReplayMode selects how the scheduler feeds instruction streams to
+// grid cells.
+type ReplayMode int
+
+// Replay modes (the CLI's -replay=on|off|auto).
+const (
+	// ReplayAuto records once per workload and replays into every
+	// eligible cell; ineligible cells (SVR, multi-region windows) run
+	// live. Results are bit-identical either way, so this is the default.
+	ReplayAuto ReplayMode = iota
+	// ReplayOn behaves like ReplayAuto (eligibility still applies — SVR
+	// can never replay) but states the intent explicitly; surfaces report
+	// the replay/live split so a forced run can be audited.
+	ReplayOn
+	// ReplayOff disables recording and replay entirely: every cell runs
+	// the emulator in lockstep, as before this layer existed.
+	ReplayOff
+)
+
+// String returns the CLI spelling of the mode.
+func (m ReplayMode) String() string {
+	switch m {
+	case ReplayOn:
+		return "on"
+	case ReplayOff:
+		return "off"
+	default:
+		return "auto"
+	}
+}
+
+// ParseReplayMode parses the CLI spelling of a replay mode.
+func ParseReplayMode(s string) (ReplayMode, error) {
+	switch s {
+	case "auto", "":
+		return ReplayAuto, nil
+	case "on":
+		return ReplayOn, nil
+	case "off":
+		return ReplayOff, nil
+	}
+	return ReplayAuto, fmt.Errorf("unknown replay mode %q (want on, off, or auto)", s)
+}
+
+var replayCtl = struct {
+	sync.Mutex
+	mode ReplayMode
+}{}
+
+// SetReplayMode switches the scheduler's stream policy and returns the
+// previous mode.
+func SetReplayMode(m ReplayMode) ReplayMode {
+	replayCtl.Lock()
+	defer replayCtl.Unlock()
+	prev := replayCtl.mode
+	replayCtl.mode = m
+	return prev
+}
+
+// CurrentReplayMode reports the active stream policy.
+func CurrentReplayMode() ReplayMode {
+	replayCtl.Lock()
+	defer replayCtl.Unlock()
+	return replayCtl.mode
+}
+
+// replayEligible reports whether a cell of this configuration and window
+// can consume a recorded stream instead of running the emulator live.
+// Multi-region windows are excluded: their streams would have to span
+// every fast-forward gap, which defeats the compact single-window
+// recording (and PaperParams regions are exactly the huge case).
+func replayEligible(cfg Config, p Params) bool {
+	if CurrentReplayMode() == ReplayOff {
+		return false
+	}
+	if StreamNeedsOf(cfg.Core) == StreamLive {
+		return false
+	}
+	return p.Regions <= 1
+}
+
+// streamStats aggregates recording-pass production counters for the
+// bench and status surfaces.
+var streamStats = struct {
+	sync.Mutex
+	recordings int
+	bytes      int64
+	instrs     uint64
+}{}
+
+// StreamCacheStats describes the recording passes produced so far.
+type StreamCacheStats struct {
+	Recordings int    // recording passes actually executed (cache misses)
+	Bytes      int64  // total encoded stream bytes produced
+	Instrs     uint64 // total instructions recorded
+}
+
+// BytesPerInstr returns the mean encoded record size across recordings.
+func (s StreamCacheStats) BytesPerInstr() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return float64(s.Bytes) / float64(s.Instrs)
+}
+
+// RecordingStats returns the process-wide recording production counters.
+func RecordingStats() StreamCacheStats {
+	streamStats.Lock()
+	defer streamStats.Unlock()
+	return StreamCacheStats{
+		Recordings: streamStats.recordings,
+		Bytes:      streamStats.bytes,
+		Instrs:     streamStats.instrs,
+	}
+}
+
+// recFlight collapses concurrent producers of one recording key, exactly
+// like ckptFlight does for checkpoints: one worker runs the recording
+// pass, its siblings wait and share the buffer.
+var recFlight = struct {
+	sync.Mutex
+	m map[buildKey]*recCall
+}{m: map[buildKey]*recCall{}}
+
+type recCall struct {
+	done chan struct{}
+	rec  *stream.Recording
+}
+
+// cachedRecording returns the shared recording of one workload window —
+// warmup+measure instructions starting at the post-fast-forward point —
+// producing it once on a miss. The pass is purely functional: a bare
+// emulator steps into the encoder, composing with the checkpoint cache
+// (the fast-forward itself is cachedCheckpoint's, never repeated here).
+func cachedRecording(spec workloads.Spec, cfg Config, p Params) *stream.Recording {
+	n := p.Warmup + p.Measure
+	k := buildKey{name: spec.Name, scale: p.Scale, ff: p.FastForward, stream: n}
+	buildCache.Lock()
+	if v, ok := buildCache.m[k]; ok {
+		touchBuild(k)
+		buildCache.Unlock()
+		return v.(*stream.Recording)
+	}
+	buildCache.Unlock()
+
+	recFlight.Lock()
+	if call, ok := recFlight.m[k]; ok {
+		recFlight.Unlock()
+		<-call.done
+		return call.rec
+	}
+	call := &recCall{done: make(chan struct{})}
+	recFlight.m[k] = call
+	recFlight.Unlock()
+
+	// Resolve the start-point image before entering the recording phase:
+	// cachedCheckpoint manages the building/checkpointing counters itself,
+	// so it must run while this worker still counts as "building".
+	var cpu *emu.CPU
+	if p.FastForward > 0 {
+		ck := cachedCheckpoint(spec, cfg, p)
+		cpu = emu.New(ck.prog, ck.mem.Clone())
+		cpu.LoadArch(ck.arch)
+	} else {
+		inst := cloneInstance(cachedBuild(spec, p.Scale))
+		cpu = emu.New(inst.Prog, inst.Mem)
+	}
+
+	gridRecBegin()
+	t0 := time.Now()
+	rec, err := stream.Record(cpu, n)
+	if err != nil {
+		panic(err) // the emulator broke the stream contract: a bug, not an input error
+	}
+	gridRecEnd(time.Since(t0))
+
+	streamStats.Lock()
+	streamStats.recordings++
+	streamStats.bytes += int64(rec.Bytes())
+	streamStats.instrs += rec.N
+	streamStats.Unlock()
+
+	buildCache.Lock()
+	storeBuild(k, rec)
+	buildCache.Unlock()
+
+	call.rec = rec
+	close(call.done)
+	recFlight.Lock()
+	delete(recFlight.m, k)
+	recFlight.Unlock()
+	return rec
+}
+
+// newReplayMachine builds a machine of cfg fed by the shared recording
+// instead of a live emulator. Stream-pure kinds (InO, OoO) share the
+// frozen master/checkpoint memory without cloning — nothing in the cell
+// reads or writes data memory. StreamMemory kinds (IMP) get a private
+// clone that the replay source keeps in lockstep by applying decoded
+// stores, so ahead-of-stream dereferences see exactly the bytes a live
+// run would have shown.
+func newReplayMachine(cfg Config, spec workloads.Spec, p Params,
+	rec *stream.Recording, master *workloads.Instance) (Machine, error) {
+	needs := StreamNeedsOf(cfg.Core)
+	var inst *workloads.Instance
+	var ck *Checkpoint
+	if p.FastForward > 0 {
+		ck = cachedCheckpoint(spec, cfg, p)
+		inst = &workloads.Instance{
+			Name: ck.Workload, Prog: ck.prog, Mem: ck.mem, Check: ck.check,
+		}
+		if needs == StreamMemory {
+			inst.Mem = ck.mem.Clone()
+		}
+	} else {
+		inst = master
+		if needs == StreamMemory {
+			inst = cloneInstance(master)
+		}
+	}
+	m, err := NewMachine(cfg, inst)
+	if err != nil {
+		return nil, err
+	}
+	if ck != nil {
+		m.Restore(ck)
+	}
+	if needs == StreamMemory {
+		m.SetSource(stream.NewReplayWithMem(rec, inst.Mem))
+	} else {
+		m.SetSource(stream.NewReplay(rec))
+	}
+	return m, nil
+}

@@ -1,0 +1,42 @@
+// Package stream decouples the functional instruction stream from the
+// timing models: the "execute once, time many" layer.
+//
+// Every timing cell of a (config × workload) grid consumes the same
+// dynamic instruction stream — the functional execution is a pure
+// function of the workload, not of the timing configuration. Following
+// the RAVE/Vehave split (arxiv 2111.01949), this package abstracts the
+// stream behind InstrSource so a workload can be emulated once
+// (LiveSource feeding an Encoder) and replayed into N timing models
+// (ReplaySource decoding the compact recording), instead of re-running
+// the emulator in lockstep inside every cell.
+//
+// The one exception is a timing model whose behaviour feeds back into
+// the functional path: the SVR engine scavenges live architectural
+// register values and issues speculative loads against the live memory
+// image, so SVR cells keep a LiveSource (the scheduler detects this per
+// core kind and falls back transparently).
+package stream
+
+import "repro/internal/emu"
+
+// InstrSource produces the dynamic instruction stream a timing model
+// consumes: one DynInstr per Next call, false once the stream ends
+// (program halt, or end of a recording).
+type InstrSource interface {
+	Next(rec *emu.DynInstr) bool
+}
+
+// LiveSource feeds a timing model straight from the functional emulator:
+// every Next executes one instruction on the wrapped CPU. This is the
+// classic lockstep arrangement — architectural state lags the timing
+// model by at most one instruction, which is what the SVR engine's
+// value scavenging relies on.
+type LiveSource struct {
+	CPU *emu.CPU
+}
+
+// NewLive wraps a CPU as an InstrSource.
+func NewLive(cpu *emu.CPU) *LiveSource { return &LiveSource{CPU: cpu} }
+
+// Next executes one instruction, filling rec.
+func (s *LiveSource) Next(rec *emu.DynInstr) bool { return s.CPU.Step(rec) }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/stream"
 )
 
 // buildStrideIndirect emits sum += data[idx[i]] over n iterations —
@@ -60,7 +61,7 @@ func runWith(t *testing.T, p *isa.Program, m *mem.Memory, opt *Options, maxInstr
 		eng = New(*opt, h, cpu)
 		core.Companion = eng
 	}
-	core.Run(cpu, maxInstr)
+	core.Run(stream.NewLive(cpu), maxInstr)
 	return core, eng
 }
 
