@@ -71,32 +71,31 @@ func cmdBench(w io.Writer, args []string) error {
 	cpuF := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memF := fs.String("memprofile", "", "write an allocation profile to this file")
 	fullF := fs.Bool("full", false, "paper-scale inputs instead of quick scale")
-	ckptF := fs.Bool("ckpt", false, "run the grid with shared fast-forward checkpoints instead of per-cell detailed warmup")
-	replayF := fs.String("replay", "off", "stream policy: off (comparable to pre-replay baselines) or on (record-once/replay-many, composed with shared checkpoints)")
+	g := addGridFlags(fs, "off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	mode, err := sim.ParseReplayMode(*replayF)
+	def := sim.QuickParams()
+	scale := "quick"
+	if *fullF {
+		def = sim.DefaultParams()
+		scale = "full"
+	}
+	pp, wls, mode, err := g.params(def)
 	if err != nil {
 		return err
 	}
-
-	p := sim.ExpParams{Params: sim.QuickParams()}
-	scale := "quick"
-	if *fullF {
-		p.Params = sim.DefaultParams()
-		scale = "full"
-	}
-	if *ckptF || mode == sim.ReplayOn {
+	p := sim.ExpParams{Params: pp, Workloads: wls}
+	if mode == sim.ReplayOn && !*g.ckpt {
 		// -replay=on implies the shared-checkpoint composition: the
 		// recording pass starts from the post-fast-forward point, so the
 		// detailed warmup is folded into the (shared, functionally-warmed)
-		// fast-forward exactly as -ckpt does.
-		p.FastForward += p.Warmup
-		p.Warm = true
-		p.Warmup = 0
+		// fast-forward exactly as -ckpt does (g.params already folded it
+		// when -ckpt was given explicitly).
+		foldCheckpoint(&p.Params)
 	}
 
+	scheduler() // route the grid through the shared scheduler core
 	prevCache := sim.SetRunCacheEnabled(false)
 	defer sim.SetRunCacheEnabled(prevCache)
 	prevReplay := sim.SetReplayMode(mode)
@@ -159,7 +158,7 @@ func cmdBench(w io.Writer, args []string) error {
 		GoVersion:     runtime.Version(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Scale:         scale,
-		CkptShared:    *ckptF || mode == sim.ReplayOn,
+		CkptShared:    *g.ckpt || mode == sim.ReplayOn,
 		Experiments:   len(exps),
 		Cells:         cells,
 		Instrs:        instrs,

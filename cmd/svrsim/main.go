@@ -77,6 +77,10 @@ func dispatch(w io.Writer, cmd string, args []string) error {
 		return cmdCompare(w, args)
 	case "bench":
 		return cmdBench(w, args)
+	case "serve":
+		return cmdServe(w, args)
+	case "version", "-v", "--version":
+		return cmdVersion(w)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -97,6 +101,9 @@ func usage() {
   svrsim timeline <workload> [fl.] export a traced window as a Perfetto timeline
   svrsim compare <workload>        one workload on every machine, side by side
   svrsim bench [flags]             time the simulator itself on the cold grid
+  svrsim serve [flags]             multi-tenant grid service over HTTP/JSON
+  svrsim version                   module version and build metadata
+  svrsim help                      this text
 
 run/all flags:
   -quick             small inputs and short windows
@@ -138,6 +145,22 @@ metrics flags:
   -n N               SVR vector length (default 16)
   -format F          output: table, prom (Prometheus text), json
   -quick / -warmup / -measure as above
+
+serve flags:
+  -addr A            listen address (default :8080)
+  -workers N         cell worker pool size (default GOMAXPROCS)
+  -queue N           max queued cells across all jobs (default 4096)
+  -state F           queue-state file restored on start, persisted on
+                     SIGINT/SIGTERM shutdown (default svrsim-state.json)
+serve endpoints:
+  POST /api/jobs               submit a grid ({"Configs":["svr16",...],
+                               "Workloads":[...], "Preset":"quick", "Priority":N})
+  GET  /api/jobs[/{id}]        list jobs / poll one job
+  GET  /api/jobs/{id}/results  stream per-cell results (NDJSON; ?format=sse for SSE)
+  POST /api/jobs/{id}/cancel   drop queued cells (running cells finish)
+  POST /api/jobs/{id}/resume   re-enqueue a canceled job's remainder
+  GET  /api/status             scheduler + queue + jobs + artifact store JSON
+  GET  /status, /metrics       aggregate snapshot; Prometheus text format
 `)
 }
 
@@ -147,63 +170,18 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 	jsonF := fs.Bool("json", false, "emit reports as JSON")
 	metricsF := fs.Bool("metrics", false, "emit reports as JSON with per-cell metric snapshots")
 	coldF := fs.Bool("cold", false, "disable the memoized run cache")
-	quickF := fs.Bool("quick", false, "small inputs, short windows")
-	scaleF := fs.String("scale", "", "window preset: quick, default, or paper (multi-region sampled)")
-	wls := fs.String("workloads", "", "comma-separated workload filter")
-	measure := fs.Uint64("measure", 0, "measured instructions")
-	warmup := fs.Uint64("warmup", 0, "warmup instructions")
-	ffF := fs.Uint64("ff", 0, "functionally fast-forward (with warming) this many instructions before each region")
-	regionsF := fs.Int("regions", 0, "detailed regions per cell, stitched by fast-forward")
-	ckptF := fs.Bool("ckpt", false, "replace detailed warmup with a shared functionally-warmed fast-forward checkpoint")
-	replayF := fs.String("replay", "auto", "instruction-stream replay: on, off, or auto (replay when eligible)")
+	g := addGridFlags(fs, "auto")
 	tsF := fs.String("timeseries", "", "write per-interval counter samples of every cell to this CSV")
 	sampleF := fs.Uint64("sample", 100_000, "sampling interval in instructions (with -timeseries)")
 	statusF := fs.String("status", "", "serve live scheduler status on this address (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return sim.ExpParams{}, nil, err
 	}
-	p := sim.ExpParams{Params: sim.DefaultParams()}
-	switch *scaleF {
-	case "":
-		if *quickF {
-			p.Params = sim.QuickParams()
-		}
-	case "quick":
-		p.Params = sim.QuickParams()
-	case "default":
-		// DefaultParams already selected.
-	case "paper":
-		p.Params = sim.PaperParams()
-	default:
-		return sim.ExpParams{}, nil, fmt.Errorf("unknown -scale %q (want quick, default, or paper)", *scaleF)
-	}
-	if *measure > 0 {
-		p.Measure = *measure
-	}
-	if *warmup > 0 {
-		p.Warmup = *warmup
-	}
-	if *ffF > 0 {
-		p.FastForward = *ffF
-		p.Warm = true
-	}
-	if *regionsF > 0 {
-		p.Regions = *regionsF
-	}
-	if *ckptF {
-		// Trade the detailed warmup for a (shared, checkpointed)
-		// functionally-warmed fast-forward of the same length.
-		p.FastForward += p.Warmup
-		p.Warm = true
-		p.Warmup = 0
-	}
-	if *wls != "" {
-		p.Workloads = strings.Split(*wls, ",")
-	}
-	mode, err := sim.ParseReplayMode(*replayF)
+	pp, wls, mode, err := g.params(sim.DefaultParams())
 	if err != nil {
 		return sim.ExpParams{}, nil, err
 	}
+	p := sim.ExpParams{Params: pp, Workloads: wls}
 	replayMode = mode
 	csvMode = *csvF
 	jsonMode = *jsonF || *metricsF // -metrics is JSON output with snapshots
@@ -319,9 +297,10 @@ func startProgressTicker(curExp *string) func() {
 }
 
 // applyRunFlags activates -cold, -timeseries, -status and progress
-// reporting for run/all; the returned cleanup restores the process-wide
-// state.
+// reporting for run/all, and routes the matrices through the shared
+// scheduler core; the returned cleanup restores the process-wide state.
 func applyRunFlags(curExp *string) func() {
+	scheduler()
 	prevCache := true
 	if coldMode {
 		prevCache = sim.SetRunCacheEnabled(false)
@@ -340,6 +319,12 @@ func applyRunFlags(curExp *string) func() {
 			fmt.Fprintf(os.Stderr, "svrsim: status on http://%s/status (also /debug/vars, /debug/pprof)\n",
 				bound)
 			stopStatus = shutdown
+			// A sweep long enough to watch is long enough to interrupt:
+			// SIGINT/SIGTERM drains running cells, persists the queue
+			// state, and exits 0 (same contract as `svrsim serve`).
+			stopSignals := handleDrainSignals(defaultStateFile, stopStatus)
+			prevStop := stopStatus
+			stopStatus = func() { stopSignals(); prevStop() }
 		}
 	}
 	return func() {
@@ -619,17 +604,25 @@ func cmdCompare(w io.Writer, args []string) error {
 	if *quickF {
 		p = sim.QuickParams()
 	}
+	spec, err := workloads.Get(name)
+	if err != nil {
+		return err
+	}
 	cfgs := []sim.Config{
 		sim.MachineConfig(sim.InO), sim.MachineConfig(sim.IMP),
 		sim.MachineConfig(sim.OoO), sim.SVRConfig(16), sim.SVRConfig(64),
 	}
+	// One grid job on the shared scheduler core: the five machines run
+	// in parallel and memoize into the artifact store like any other
+	// tenant's cells.
+	rs := scheduler().RunMatrix(cfgs, []workloads.Spec{spec}, p)
 	t := stats.NewTable("machine", "CPI", "speedup", "nJ/instr", "core W", "DRAM loads")
 	chart := stats.NewBarChart("speedup over in-order", "x")
 	var base sim.Result
 	for i, cfg := range cfgs {
-		res, err := sim.RunByName(name, cfg, p)
-		if err != nil {
-			return err
+		res, ok := rs.Get(cfg.Label, name)
+		if !ok {
+			return fmt.Errorf("compare: missing cell %s/%s", cfg.Label, name)
 		}
 		if i == 0 {
 			base = res

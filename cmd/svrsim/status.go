@@ -1,44 +1,59 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/sim"
 )
 
 // The -status flag exposes a live view of a long sweep: the scheduler's
 // cell states and instruction rate as JSON, plus the stdlib expvar and
 // pprof surfaces for deeper digging, all on a loopback-bindable listener
-// that dies with the process.
+// that shuts down gracefully with the run.
 
 // statusVars publishes the scheduler snapshot under expvar's "scheduler"
 // key. Guarded by a Once: expvar.Publish panics on duplicate names, and
 // tests may start several servers in one process.
 var statusVars sync.Once
 
-// statusSnapshot is the /status payload: the scheduler state plus the
-// run-cache counters.
+// statusSnapshot is the /status payload: the (aggregate, multi-job)
+// scheduler state, the run-cache counters, and the unified artifact
+// store's per-class accounting.
 type statusSnapshot struct {
 	Scheduler sim.GridStatus
 	RunCache  struct{ Hits, Misses int64 }
+	Artifacts artifact.Stats
 }
 
 func currentSnapshot() statusSnapshot {
 	var s statusSnapshot
 	s.Scheduler = sim.CurrentStatus()
 	s.RunCache.Hits, s.RunCache.Misses = sim.RunCacheStats()
+	s.Artifacts = sim.Artifacts().Stats()
 	return s
+}
+
+// writeStatusJSON renders the /status payload (shared by the -status
+// server and `svrsim serve`).
+func writeStatusJSON(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(currentSnapshot())
 }
 
 // startStatusServer serves /status (JSON scheduler snapshot),
 // /debug/vars (expvar) and /debug/pprof on addr. It returns the bound
-// address (resolving a ":0" port) and a shutdown that closes the
-// listener.
+// address (resolving a ":0" port) and a shutdown that gracefully drains
+// in-flight requests.
 func startStatusServer(addr string) (bound string, shutdown func(), err error) {
 	statusVars.Do(func() {
 		expvar.Publish("scheduler", expvar.Func(func() any { return currentSnapshot() }))
@@ -49,10 +64,7 @@ func startStatusServer(addr string) (bound string, shutdown func(), err error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(currentSnapshot())
+		writeStatusJSON(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -62,5 +74,11 @@ func startStatusServer(addr string) (bound string, shutdown func(), err error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
-	return ln.Addr().String(), func() { srv.Close() }, nil
+	return ln.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+	}, nil
 }

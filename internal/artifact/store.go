@@ -1,0 +1,375 @@
+// Package artifact is the unified content-addressed store behind the
+// experiment scheduler: workload images, post-fast-forward checkpoints,
+// recorded instruction streams and memoized cell results all live in one
+// keyed, byte-budgeted LRU with per-class hit/miss/evict accounting and
+// singleflight production. Before this package each of those caches was
+// a private map inside internal/sim; unifying them gives concurrent
+// tenants of the grid service one shared pool of warm state, one memory
+// budget, and one observable set of counters.
+package artifact
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Class partitions the key space by artifact kind. Classes share the
+// byte budget and the LRU order but are accounted (and can be disabled)
+// independently.
+type Class string
+
+// The artifact classes the simulator stores.
+const (
+	Image      Class = "image"      // built workload memory images
+	Checkpoint Class = "checkpoint" // post-fast-forward machine checkpoints
+	Stream     Class = "stream"     // recorded instruction streams
+	Result     Class = "result"     // memoized cell results
+)
+
+// Classes lists every class in stable display order.
+func Classes() []Class { return []Class{Image, Checkpoint, Stream, Result} }
+
+// Key addresses one artifact: its class plus a content hash (or any
+// canonical encoding of everything the artifact's bytes depend on).
+type Key struct {
+	Class Class
+	ID    string
+}
+
+// Outcome reports how a GetOrProduce call was satisfied. Exactly one of
+// three situations holds: the value was resident (Hit), the caller
+// joined another caller's in-flight production (Waited), or the caller
+// produced the value itself (neither).
+type Outcome struct {
+	Hit    bool
+	Waited bool
+}
+
+// FromStore reports whether the caller got the artifact without
+// producing it: a resident hit or a joined in-flight production.
+func (o Outcome) FromStore() bool { return o.Hit || o.Waited }
+
+// ClassStats is a point-in-time accounting snapshot of one class.
+type ClassStats struct {
+	Hits      int64 // lookups served resident
+	Misses    int64 // lookups that found nothing resident
+	Waited    int64 // of Misses, satisfied by joining an in-flight production
+	Produced  int64 // values computed and inserted
+	Evictions int64 // entries dropped by the byte budget
+	Entries   int   // resident entries now
+	Bytes     int64 // resident bytes now
+}
+
+// Stats maps each class to its counters.
+type Stats map[Class]ClassStats
+
+// Total folds every class into one summary row.
+func (s Stats) Total() ClassStats {
+	var t ClassStats
+	for _, cs := range s {
+		t.Hits += cs.Hits
+		t.Misses += cs.Misses
+		t.Waited += cs.Waited
+		t.Produced += cs.Produced
+		t.Evictions += cs.Evictions
+		t.Entries += cs.Entries
+		t.Bytes += cs.Bytes
+	}
+	return t
+}
+
+type entry struct {
+	v     any
+	bytes int64
+}
+
+type call struct {
+	done chan struct{}
+	v    any
+}
+
+type classCounters struct {
+	hits, misses, waited, produced, evictions int64
+	entries                                   int
+	bytes                                     int64
+	disabled                                  bool
+}
+
+// Store is the content-addressed artifact cache. All methods are safe
+// for concurrent use; produce functions run outside the store lock, so
+// a production may itself fetch other artifacts (a cell result fetches
+// its checkpoint, which fetches its image).
+type Store struct {
+	mu      sync.Mutex
+	limit   int64
+	bytes   int64
+	entries map[Key]*entry
+	order   []Key // LRU order, least recently used first
+	flight  map[Key]*call
+	classes map[Class]*classCounters
+}
+
+// New returns an empty store evicting past limit bytes. The most
+// recently used entry is never evicted, so one artifact larger than the
+// whole budget still caches (and everything else goes).
+func New(limit int64) *Store {
+	return &Store{
+		limit:   limit,
+		entries: map[Key]*entry{},
+		flight:  map[Key]*call{},
+		classes: map[Class]*classCounters{},
+	}
+}
+
+// class returns the counters of c, creating them on first use. Caller
+// holds s.mu.
+func (s *Store) class(c Class) *classCounters {
+	cc, ok := s.classes[c]
+	if !ok {
+		cc = &classCounters{}
+		s.classes[c] = cc
+	}
+	return cc
+}
+
+// touch moves k to the most-recently-used end of the LRU order. Caller
+// holds s.mu.
+func (s *Store) touch(k Key) {
+	for i, o := range s.order {
+		if o == k {
+			copy(s.order[i:], s.order[i+1:])
+			s.order[len(s.order)-1] = k
+			return
+		}
+	}
+}
+
+// Get returns the resident artifact for k, counting a hit or miss. A
+// disabled class always misses.
+func (s *Store) Get(k Key) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cc := s.class(k.Class)
+	if cc.disabled {
+		cc.misses++
+		return nil, false
+	}
+	e, ok := s.entries[k]
+	if !ok {
+		cc.misses++
+		return nil, false
+	}
+	cc.hits++
+	s.touch(k)
+	return e.v, true
+}
+
+// Put inserts v under k (replacing any previous value) and evicts LRU
+// entries past the byte budget. Disabled classes drop the insert.
+func (s *Store) Put(k Key, v any, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cc := s.class(k.Class)
+	cc.produced++
+	if cc.disabled {
+		return
+	}
+	s.insert(k, v, bytes)
+}
+
+// insert stores the entry and enforces the budget. Caller holds s.mu.
+func (s *Store) insert(k Key, v any, bytes int64) {
+	if old, ok := s.entries[k]; ok {
+		s.bytes -= old.bytes
+		cc := s.class(k.Class)
+		cc.bytes -= old.bytes
+		cc.entries--
+		s.touch(k)
+	} else {
+		s.order = append(s.order, k)
+	}
+	s.entries[k] = &entry{v: v, bytes: bytes}
+	s.bytes += bytes
+	cc := s.class(k.Class)
+	cc.bytes += bytes
+	cc.entries++
+	for s.bytes > s.limit && len(s.order) > 1 {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		e := s.entries[victim]
+		delete(s.entries, victim)
+		s.bytes -= e.bytes
+		vc := s.class(victim.Class)
+		vc.bytes -= e.bytes
+		vc.entries--
+		vc.evictions++
+	}
+}
+
+// GetOrProduce returns the artifact for k, producing it at most once
+// across concurrent callers: a resident value is a hit, an in-flight
+// production is joined (Waited), and otherwise this caller runs produce
+// and the result is stored. When k's class is disabled there is no
+// residency and no flight-sharing — every caller produces privately,
+// which is exactly what a deliberately cold run wants.
+func (s *Store) GetOrProduce(k Key, produce func() (v any, bytes int64)) (any, Outcome) {
+	s.mu.Lock()
+	cc := s.class(k.Class)
+	if cc.disabled {
+		cc.misses++
+		s.mu.Unlock()
+		v, _ := produce()
+		s.mu.Lock()
+		s.class(k.Class).produced++
+		s.mu.Unlock()
+		return v, Outcome{}
+	}
+	if e, ok := s.entries[k]; ok {
+		cc.hits++
+		s.touch(k)
+		v := e.v
+		s.mu.Unlock()
+		return v, Outcome{Hit: true}
+	}
+	cc.misses++
+	if c, ok := s.flight[k]; ok {
+		cc.waited++
+		s.mu.Unlock()
+		<-c.done
+		return c.v, Outcome{Waited: true}
+	}
+	c := &call{done: make(chan struct{})}
+	s.flight[k] = c
+	s.mu.Unlock()
+
+	v, bytes := produce()
+
+	s.mu.Lock()
+	cc = s.class(k.Class)
+	cc.produced++
+	if !cc.disabled { // the class may have been disabled mid-production
+		s.insert(k, v, bytes)
+	}
+	delete(s.flight, k)
+	s.mu.Unlock()
+	c.v = v
+	close(c.done)
+	return v, Outcome{}
+}
+
+// SetClassEnabled toggles residency and flight-sharing for one class and
+// returns the previous setting. Disabling purges the class's resident
+// entries (a re-enabled class starts cold); counters are preserved.
+func (s *Store) SetClassEnabled(c Class, on bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cc := s.class(c)
+	prev := !cc.disabled
+	cc.disabled = !on
+	if !on {
+		s.purgeLocked(c)
+	}
+	return prev
+}
+
+// Purge drops every resident entry of one class (counters kept).
+func (s *Store) Purge(c Class) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeLocked(c)
+}
+
+func (s *Store) purgeLocked(c Class) {
+	keep := s.order[:0]
+	for _, k := range s.order {
+		if k.Class != c {
+			keep = append(keep, k)
+			continue
+		}
+		e := s.entries[k]
+		delete(s.entries, k)
+		s.bytes -= e.bytes
+	}
+	s.order = keep
+	cc := s.class(c)
+	cc.bytes = 0
+	cc.entries = 0
+}
+
+// ResetStats zeroes one class's counters (resident entries stay).
+func (s *Store) ResetStats(c Class) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cc := s.class(c)
+	*cc = classCounters{disabled: cc.disabled, entries: cc.entries, bytes: cc.bytes}
+}
+
+// SetLimit changes the byte budget and applies it immediately.
+func (s *Store) SetLimit(limit int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limit = limit
+	for s.bytes > s.limit && len(s.order) > 1 {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		e := s.entries[victim]
+		delete(s.entries, victim)
+		s.bytes -= e.bytes
+		vc := s.class(victim.Class)
+		vc.bytes -= e.bytes
+		vc.entries--
+		vc.evictions++
+	}
+}
+
+// Limit returns the current byte budget.
+func (s *Store) Limit() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.limit
+}
+
+// Bytes returns the resident bytes across all classes.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Stats snapshots every class's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(Stats, len(s.classes))
+	for c, cc := range s.classes {
+		out[c] = ClassStats{
+			Hits: cc.hits, Misses: cc.misses, Waited: cc.waited,
+			Produced: cc.produced, Evictions: cc.evictions,
+			Entries: cc.entries, Bytes: cc.bytes,
+		}
+	}
+	return out
+}
+
+// Register publishes the store's counters into a metrics registry as
+// computed gauges, named <prefix>.<class>.<counter>. The gauges read
+// live state, so one registration keeps reporting forever.
+func (s *Store) Register(reg *metrics.Registry, prefix string) {
+	classes := Classes()
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		c := c
+		stat := func(f func(ClassStats) int64) func() int64 {
+			return func() int64 { return f(s.Stats()[c]) }
+		}
+		reg.GaugeFunc(prefix+"."+string(c)+".hits", "artifact store hits", stat(func(cs ClassStats) int64 { return cs.Hits }))
+		reg.GaugeFunc(prefix+"."+string(c)+".misses", "artifact store misses", stat(func(cs ClassStats) int64 { return cs.Misses }))
+		reg.GaugeFunc(prefix+"."+string(c)+".waited", "misses satisfied by joining an in-flight production", stat(func(cs ClassStats) int64 { return cs.Waited }))
+		reg.GaugeFunc(prefix+"."+string(c)+".produced", "artifacts produced", stat(func(cs ClassStats) int64 { return cs.Produced }))
+		reg.GaugeFunc(prefix+"."+string(c)+".evictions", "entries evicted by the byte budget", stat(func(cs ClassStats) int64 { return cs.Evictions }))
+		reg.GaugeFunc(prefix+"."+string(c)+".bytes", "resident bytes", stat(func(cs ClassStats) int64 { return cs.Bytes }))
+		reg.GaugeFunc(prefix+"."+string(c)+".entries", "resident entries", stat(func(cs ClassStats) int64 { return int64(cs.Entries) }))
+	}
+}

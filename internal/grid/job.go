@@ -1,0 +1,271 @@
+package grid
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. A canceled job keeps its finished cells and can be
+// resumed, which re-enqueues the unfinished remainder.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateCanceled State = "canceled"
+)
+
+// CellResult is one finished cell as streamed to clients, in completion
+// order: the scheduling metadata plus the full simulation Result.
+type CellResult struct {
+	Seq             int    // completion index within the job, from 0
+	Label           string // configuration label
+	Workload        string
+	Cached          bool // result was resident in the artifact store
+	Shared          bool // joined another job's in-flight execution
+	Replayed        bool // consumed a recorded stream
+	CkptFromStore   bool `json:",omitempty"` // warm checkpoint came from the store
+	StreamFromStore bool `json:",omitempty"` // recording came from the store
+	WallNS          int64
+	Result          sim.Result
+}
+
+// JobStatus is the poll/list view of a job.
+type JobStatus struct {
+	ID       string
+	Name     string `json:",omitempty"`
+	Priority int
+	State    State
+	Cells    int // total cells of the grid
+	Done     int
+	Queued   int // waiting in the scheduler queue
+	Running  int // executing right now
+	// FromStore counters: how much of this job the unified artifact
+	// store served instead of this job simulating it.
+	CachedCells     int // results resident in the store
+	SharedCells     int // results joined from another job's in-flight cell
+	ReplayedCells   int // cells fed by a recorded stream
+	CkptsFromStore  int // cells whose warm checkpoint came from the store
+	StreamFromStore int // cells whose recording came from the store
+	SubmittedAt     time.Time
+	WallNS          int64 `json:",omitempty"` // total wall time, once done
+}
+
+// Job is one submitted grid: (configs × workloads) cells flowing through
+// the shared scheduler.
+type Job struct {
+	ID       string
+	Name     string
+	Priority int
+
+	cfgs   []sim.Config
+	specs  []workloads.Spec
+	params sim.Params
+	cells  []sim.CellRequest
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	tracker       *sim.Tracker
+	trackerClosed bool
+	state         State
+	queued        map[int]struct{} // cell index → waiting in the queue
+	running       map[int]struct{} // cell index → executing
+	pending       map[int]struct{} // cell index → not finished (queued ∪ running ∪ dropped)
+	results       []CellResult     // finished cells in completion order
+	rs            *sim.ResultSet
+	submitted     time.Time
+	finished      time.Time
+}
+
+func newJob(id, name string, pri int, cfgs []sim.Config, specs []workloads.Spec, p sim.Params) *Job {
+	j := &Job{
+		ID: id, Name: name, Priority: pri,
+		cfgs: cfgs, specs: specs, params: p,
+		cells:     sim.MatrixCells(cfgs, specs, p),
+		state:     StateQueued,
+		queued:    map[int]struct{}{},
+		running:   map[int]struct{}{},
+		pending:   map[int]struct{}{},
+		rs:        sim.NewResultSet(cfgs),
+		submitted: time.Now(),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	for i := range j.cells {
+		j.pending[i] = struct{}{}
+	}
+	return j
+}
+
+// unqueued returns the pending cells that are neither queued nor
+// running — what cancel dropped and resume must re-enqueue. Caller
+// holds j.mu.
+func (j *Job) unqueuedLocked() []int {
+	var out []int
+	for i := range j.pending {
+		if _, q := j.queued[i]; q {
+			continue
+		}
+		if _, r := j.running[i]; r {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// startCell transitions a popped cell to running and hands the worker
+// the tracker the cell should report to. ok is false when the job was
+// canceled after the cell was queued; the cell stays pending.
+func (j *Job) startCell(i int) (sim.CellRequest, *sim.Tracker, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.queued, i)
+	if j.state == StateCanceled {
+		return sim.CellRequest{}, nil, false
+	}
+	if j.state == StateQueued {
+		j.state = StateRunning
+	}
+	j.running[i] = struct{}{}
+	return j.cells[i], j.tracker, true
+}
+
+// closeTrackerLocked unregisters the job's tracker from the status
+// surfaces. Caller holds j.mu.
+func (j *Job) closeTrackerLocked() {
+	if !j.trackerClosed {
+		j.tracker.Close()
+		j.trackerClosed = true
+	}
+}
+
+// finishCell banks one executed cell and returns the job-progress event
+// for the CLI hook. When this completion ends the job (done, or canceled
+// with the last running cell finished) the tracker is closed.
+func (j *Job) finishCell(i int, res sim.Result, out sim.CellOutcome) (ev sim.CellEvent) {
+	var terminal bool
+	c := j.cells[i]
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.running, i)
+	delete(j.pending, i)
+	j.results = append(j.results, CellResult{
+		Seq: len(j.results), Label: c.Cfg.Label, Workload: c.Spec.Name,
+		Cached: out.Cached, Shared: out.Shared, Replayed: out.Replayed,
+		CkptFromStore: out.CkptFromStore, StreamFromStore: out.StreamFromStore,
+		WallNS: out.Wall.Nanoseconds(), Result: res,
+	})
+	j.rs.AddCell(res, sim.CellStat{
+		Label: c.Cfg.Label, Workload: c.Spec.Name, Cached: out.Cached,
+		Shared: out.Shared, Replayed: out.Replayed, Wall: out.Wall,
+	})
+	j.tracker.CellDone(out, res.Instrs)
+	if len(j.pending) == 0 && j.state != StateCanceled {
+		j.state = StateDone
+		j.finished = time.Now()
+		j.rs.Stats.Wall = j.finished.Sub(j.submitted)
+		j.rs.Finish()
+		terminal = true
+	}
+	if j.state == StateCanceled && len(j.running) == 0 {
+		terminal = true
+	}
+	if terminal {
+		j.closeTrackerLocked()
+	}
+	j.cond.Broadcast()
+	return sim.CellEvent{
+		Label: c.Cfg.Label, Workload: c.Spec.Name,
+		Cached: out.Cached, Shared: out.Shared, Replayed: out.Replayed,
+		Wall: out.Wall, Instrs: res.Instrs,
+		Done: len(j.results), Cells: len(j.cells),
+	}
+}
+
+// terminalLocked reports whether the job will make no more progress:
+// done, or canceled with no cell still executing. Caller holds j.mu.
+func (j *Job) terminalLocked() bool {
+	if j.state == StateDone {
+		return true
+	}
+	return j.state == StateCanceled && len(j.running) == 0
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.ID, Name: j.Name, Priority: j.Priority, State: j.state,
+		Cells: len(j.cells), Done: len(j.results),
+		Queued: len(j.queued), Running: len(j.running),
+		SubmittedAt: j.submitted,
+	}
+	for _, r := range j.results {
+		if r.Cached {
+			st.CachedCells++
+		}
+		if r.Shared {
+			st.SharedCells++
+		}
+		if r.Replayed {
+			st.ReplayedCells++
+		}
+		if r.CkptFromStore {
+			st.CkptsFromStore++
+		}
+		if r.StreamFromStore {
+			st.StreamFromStore++
+		}
+	}
+	if j.state == StateDone {
+		st.WallNS = j.finished.Sub(j.submitted).Nanoseconds()
+	}
+	return st
+}
+
+// Result returns the i-th finished cell (completion order), blocking
+// until it exists, the job reaches a terminal state without producing
+// it, or ctx is canceled. ok is false in the latter two cases.
+func (j *Job) Result(ctx context.Context, i int) (CellResult, bool) {
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for len(j.results) <= i && !j.terminalLocked() && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	if len(j.results) > i {
+		return j.results[i], true
+	}
+	return CellResult{}, false
+}
+
+// Wait blocks until the job is done (or canceled and drained) and
+// returns its ResultSet. The set is only complete when the job finished.
+func (j *Job) Wait() *sim.ResultSet {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for !j.terminalLocked() {
+		j.cond.Wait()
+	}
+	return j.rs
+}
+
+// ResultSet returns the job's (possibly still filling) result set.
+// Callers must not mutate it before the job is done.
+func (j *Job) ResultSet() *sim.ResultSet {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rs
+}

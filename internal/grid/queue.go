@@ -1,0 +1,137 @@
+package grid
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+)
+
+// ErrQueueFull is the typed backpressure error Submit returns when a
+// job's cells would overflow the bounded queue. Callers shed load or
+// retry; nothing is partially enqueued.
+type ErrQueueFull struct {
+	Queued    int // cells already waiting
+	Capacity  int // queue bound
+	Requested int // cells the rejected job wanted to add
+}
+
+func (e *ErrQueueFull) Error() string {
+	return fmt.Sprintf("grid: queue full: %d cells queued of %d capacity, %d more requested",
+		e.Queued, e.Capacity, e.Requested)
+}
+
+// item is one queued cell: a job plus an index into its cell list,
+// ordered by job priority (higher first) then global submission order.
+type item struct {
+	job  *Job
+	cell int
+	pri  int
+	seq  uint64
+}
+
+type cellHeap []*item
+
+func (h cellHeap) Len() int { return len(h) }
+func (h cellHeap) Less(i, j int) bool {
+	if h[i].pri != h[j].pri {
+		return h[i].pri > h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+func (h cellHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cellHeap) Push(x any)   { *h = append(*h, x.(*item)) }
+func (h *cellHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// queue is the bounded priority queue feeding the worker pool.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   cellHeap
+	cap    int
+	seq    uint64
+	closed bool
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues the given cells of job atomically: either every cell is
+// accepted or none is (ErrQueueFull).
+func (q *queue) push(job *Job, cells []int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fmt.Errorf("grid: scheduler is shut down")
+	}
+	if len(q.heap)+len(cells) > q.cap {
+		return &ErrQueueFull{Queued: len(q.heap), Capacity: q.cap, Requested: len(cells)}
+	}
+	for _, c := range cells {
+		q.seq++
+		heap.Push(&q.heap, &item{job: job, cell: c, pri: job.Priority, seq: q.seq})
+	}
+	q.cond.Broadcast()
+	return nil
+}
+
+// pop blocks until a cell is available and returns it; ok is false once
+// the queue is closed (queued cells are abandoned to the shutdown path,
+// which persists them).
+func (q *queue) pop() (*item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	return heap.Pop(&q.heap).(*item), true
+}
+
+// remove drops every queued cell of job (cancellation) and returns the
+// dropped cell indexes. Cells already popped by a worker are unaffected.
+func (q *queue) remove(job *Job) []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var dropped []int
+	keep := q.heap[:0]
+	for _, it := range q.heap {
+		if it.job == job {
+			dropped = append(dropped, it.cell)
+		} else {
+			keep = append(keep, it)
+		}
+	}
+	for i := len(keep); i < len(q.heap); i++ {
+		q.heap[i] = nil
+	}
+	q.heap = keep
+	heap.Init(&q.heap)
+	return dropped
+}
+
+// depth returns the number of queued cells.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// close wakes every worker; pop returns false from then on.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

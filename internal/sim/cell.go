@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/workloads"
+)
+
+// This file is the cell-execution core of the scheduler: one grid cell
+// (config × workload × window) resolved through the unified artifact
+// store. Every caller — the in-process matrix pool, the grid service's
+// workers, a test — goes through ExecuteCell, so single-shot and served
+// modes cannot drift: there is exactly one code path from a cell request
+// to a Result, and exactly one set of caches behind it.
+
+// cellKey identifies one simulation by content: the machine configuration
+// (minus its display label), the workload name, and the window.
+type cellKey [sha256.Size]byte
+
+// hashCell derives the cache key. Config and Params are plain-data
+// structs, so their canonical JSON encoding is a stable content hash; the
+// label is display-only and must not split otherwise-identical cells
+// (sweeps relabel the default configuration all the time).
+func hashCell(cfg Config, workload string, p Params) cellKey {
+	cfg.Label = ""
+	blob, err := json.Marshal(struct {
+		Cfg      Config
+		Workload string
+		P        Params
+	}{cfg, workload, p})
+	if err != nil {
+		panic(fmt.Sprintf("sim: cannot hash cell: %v", err))
+	}
+	return sha256.Sum256(blob)
+}
+
+// CellRequest names one schedulable cell.
+type CellRequest struct {
+	Cfg  Config
+	Spec workloads.Spec
+	P    Params
+}
+
+// CellOutcome describes how a cell request was satisfied.
+type CellOutcome struct {
+	// Cached: the result was resident in the artifact store.
+	Cached bool
+	// Shared: the result was joined from another caller's in-flight
+	// execution of the identical cell (cross-job dedup).
+	Shared bool
+	// Replayed: this cell simulated by consuming a recorded instruction
+	// stream instead of a live emulator.
+	Replayed bool
+	// CkptFromStore / StreamFromStore: the cell consumed a checkpoint /
+	// recording it did not produce itself — warm state shared with an
+	// earlier or concurrent job.
+	CkptFromStore   bool
+	StreamFromStore bool
+	// Wall is the caller's wall time on the cell, however it was served.
+	Wall time.Duration
+}
+
+// FromStore reports whether the cell's result came out of the unified
+// store rather than a simulation run by this caller.
+func (o CellOutcome) FromStore() bool { return o.Cached || o.Shared }
+
+// ExecuteCell resolves one cell through the artifact store: a resident
+// result is a hit, an identical in-flight cell is joined, and otherwise
+// this caller simulates (composing the shared image / checkpoint /
+// recording artifacts) and the result is memoized. tr (nil-safe) feeds
+// the live status surfaces. Results are bit-identical however the cell
+// is served.
+func ExecuteCell(req CellRequest, tr *Tracker) (Result, CellOutcome) {
+	start := time.Now()
+	var out CellOutcome
+	v, oc := artifacts.GetOrProduce(resultKey(req.Cfg, req.Spec.Name, req.P), func() (any, int64) {
+		res := simulateCell(req, tr, &out)
+		return res, resultBytes(res)
+	})
+	res := v.(Result)
+	out.Cached = oc.Hit
+	out.Shared = oc.Waited
+	// The stored record may carry another sweep's display label.
+	res.Label = req.Cfg.Label
+	out.Wall = time.Since(start)
+	return res, out
+}
+
+// simulateCell runs the cell for real, choosing the cheapest eligible
+// composition: replay a recorded stream, resume a shared checkpoint, or
+// run live from a cloned image.
+func simulateCell(req CellRequest, tr *Tracker, out *CellOutcome) Result {
+	cfg, spec, p := req.Cfg, req.Spec, req.P
+	var res Result
+	tr.phase(+1, 0)
+	switch {
+	case replayEligible(cfg, p):
+		// Execute-once, time-many path: the workload window is recorded
+		// once (cachedRecording, composing with the shared checkpoint
+		// when fast-forwarding) and this cell replays the buffer through
+		// its timing models.
+		out.Replayed = true
+		recd, so := cachedRecording(spec, cfg, p, tr)
+		out.StreamFromStore = so.FromStore()
+		var master *workloads.Instance
+		if p.FastForward == 0 {
+			master = cachedBuild(spec, p.Scale)
+		}
+		m, err := newReplayMachine(cfg, spec, p, recd, master, out, tr)
+		if err != nil {
+			panic(err)
+		}
+		tr.phase(-1, +1)
+		if p.FastForward > 0 {
+			res = SimulateFrom(m, p)
+		} else {
+			res = Simulate(m, p)
+		}
+	case p.FastForward > 0:
+		// Shared-checkpoint path: the workload's fast-forward runs once
+		// (cachedCheckpoint) and every cell resumes from a clone of its
+		// frozen image.
+		ck, co := cachedCheckpoint(spec, cfg, p, tr)
+		out.CkptFromStore = co.FromStore()
+		m, err := NewMachineFrom(cfg, ck)
+		if err != nil {
+			panic(err)
+		}
+		tr.phase(-1, +1)
+		res = SimulateFrom(m, p)
+	default:
+		inst := cloneInstance(cachedBuild(spec, p.Scale))
+		m, err := NewMachine(cfg, inst)
+		if err != nil {
+			panic(err)
+		}
+		tr.phase(-1, +1)
+		res = Simulate(m, p)
+	}
+	tr.phase(0, -1)
+	return res
+}
+
+// cachedBuild returns the memoized image for (spec, sc), building it at
+// most once across concurrent callers. Copy-on-write Clone makes
+// retention safe: cells clone the image and never write the master, so a
+// stored entry stays pristine.
+func cachedBuild(spec workloads.Spec, sc workloads.Scale) *workloads.Instance {
+	v, _ := artifacts.GetOrProduce(imageKey(spec.Name, sc), func() (any, int64) {
+		inst := spec.Build(sc)
+		return inst, instanceBytes(inst)
+	})
+	return v.(*workloads.Instance)
+}
+
+// cloneInstance copies the memory image so a run (which mutates memory
+// through stores) cannot contaminate the shared master build.
+func cloneInstance(master *workloads.Instance) *workloads.Instance {
+	return &workloads.Instance{
+		Name: master.Name, Prog: master.Prog,
+		Mem: master.Mem.Clone(), Check: master.Check,
+	}
+}
+
+// warmKey hashes the configuration state functional warming actually
+// depends on: cache/TLB/prefetcher geometry and branch-predictor table
+// size. Latencies, MSHR count, walker count and the DRAM model never
+// touch warmed tags, so sweeps over them (MSHR/bandwidth sensitivity)
+// share one warmed checkpoint per workload.
+func warmKey(cfg Config) string {
+	hier := cfg.Hier
+	hier.L1Latency, hier.L2Latency, hier.STLBLatency, hier.WalkLatency = 0, 0, 0, 0
+	hier.L1MSHRs, hier.NumPTWs = 0, 0
+	hier.DRAM = dram.Config{}
+	bits := cfg.InO.BPredTableBits
+	if cfg.Core == OoO {
+		bits = cfg.OoO.BPredTableBits
+	}
+	blob, err := json.Marshal(struct {
+		Hier      cache.Config
+		BPredBits uint
+	}{hier, bits})
+	if err != nil {
+		panic(fmt.Sprintf("sim: cannot hash warm geometry: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// cachedCheckpoint returns the shared post-fast-forward checkpoint for
+// (workload, params, warm geometry), producing it at most once across
+// concurrent callers: build (or fetch) the raw image, fast-forward a
+// throwaway machine, capture. The outcome reports whether this caller
+// got it from the store (hit or joined flight) rather than producing it.
+func cachedCheckpoint(spec workloads.Spec, cfg Config, p Params, tr *Tracker) (*Checkpoint, artifact.Outcome) {
+	warm := ""
+	if p.Warm {
+		warm = warmKey(cfg)
+	}
+	k := checkpointKey(spec.Name, p.Scale, p.FastForward, warm)
+	v, oc := artifacts.GetOrProduce(k, func() (any, int64) {
+		tr.ckptBegin()
+		t0 := time.Now()
+		m, err := NewMachine(cfg, cloneInstance(cachedBuild(spec, p.Scale)))
+		if err != nil {
+			panic(err)
+		}
+		m.FastForward(p.FastForward, p.Warm)
+		ck := m.Checkpoint()
+		tr.ckptEnd(time.Since(t0))
+		return ck, ck.Bytes()
+	})
+	return v.(*Checkpoint), oc
+}

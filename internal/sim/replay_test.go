@@ -45,11 +45,11 @@ func TestReplayMatchesLive(t *testing.T) {
 				return
 			}
 
-			recd := cachedRecording(spec, cfg, p)
+			recd, _ := cachedRecording(spec, cfg, p, nil)
 			if recd.N != p.Warmup+p.Measure {
 				t.Fatalf("recording has %d records, want %d", recd.N, p.Warmup+p.Measure)
 			}
-			m, err := newReplayMachine(cfg, spec, p, recd, cachedBuild(spec, p.Scale))
+			m, err := newReplayMachine(cfg, spec, p, recd, cachedBuild(spec, p.Scale), nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -81,15 +81,15 @@ func TestReplayMatchesLiveCheckpointed(t *testing.T) {
 		t.Run(kind.String(), func(t *testing.T) {
 			cfg := MachineConfig(kind)
 
-			ck := cachedCheckpoint(spec, cfg, p)
+			ck, _ := cachedCheckpoint(spec, cfg, p, nil)
 			liveM, err := NewMachineFrom(cfg, ck)
 			if err != nil {
 				t.Fatal(err)
 			}
 			live := SimulateFrom(liveM, p)
 
-			recd := cachedRecording(spec, cfg, p)
-			repM, err := newReplayMachine(cfg, spec, p, recd, nil)
+			recd, _ := cachedRecording(spec, cfg, p, nil)
+			repM, err := newReplayMachine(cfg, spec, p, recd, nil, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}

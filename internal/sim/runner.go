@@ -1,117 +1,33 @@
 package sim
 
 import (
-	"crypto/sha256"
 	"encoding/json"
-	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
-	"repro/internal/cache"
-	"repro/internal/dram"
-	"repro/internal/mem"
-	"repro/internal/stream"
 	"repro/internal/workloads"
 )
 
-// This file is the experiment scheduler: every figure's (config ×
-// workload) grid is flattened into independent cells, run on a
-// GOMAXPROCS-bounded worker pool, and memoized in a process-wide cache.
-// Each simulation is deterministic (fixed seeds, no wall-clock inputs),
-// so a cached cell is bit-identical to a fresh run and `svrsim all` stops
-// re-simulating the standard-configs × evaluation-set grid that Figs 1,
-// 11, 12 and 13 share.
-
-// cellKey identifies one simulation by content: the machine configuration
-// (minus its display label), the workload name, and the window.
-type cellKey [sha256.Size]byte
-
-// hashCell derives the cache key. Config and Params are plain-data
-// structs, so their canonical JSON encoding is a stable content hash; the
-// label is display-only and must not split otherwise-identical cells
-// (sweeps relabel the default configuration all the time).
-func hashCell(cfg Config, workload string, p Params) cellKey {
-	cfg.Label = ""
-	blob, err := json.Marshal(struct {
-		Cfg      Config
-		Workload string
-		P        Params
-	}{cfg, workload, p})
-	if err != nil {
-		panic(fmt.Sprintf("sim: cannot hash cell: %v", err))
-	}
-	return sha256.Sum256(blob)
-}
-
-// runCache memoizes completed cells for the lifetime of the process.
-var runCache = struct {
-	sync.Mutex
-	m            map[cellKey]Result
-	hits, misses int64
-	disabled     bool
-}{m: map[cellKey]Result{}}
-
-func cacheGet(k cellKey) (Result, bool) {
-	runCache.Lock()
-	defer runCache.Unlock()
-	if runCache.disabled {
-		runCache.misses++
-		return Result{}, false
-	}
-	res, ok := runCache.m[k]
-	if ok {
-		runCache.hits++
-	} else {
-		runCache.misses++
-	}
-	return res, ok
-}
-
-func cachePut(k cellKey, res Result) {
-	runCache.Lock()
-	defer runCache.Unlock()
-	if !runCache.disabled {
-		runCache.m[k] = res
-	}
-}
-
-// RunCacheStats returns the process-wide cell cache counters.
-func RunCacheStats() (hits, misses int64) {
-	runCache.Lock()
-	defer runCache.Unlock()
-	return runCache.hits, runCache.misses
-}
-
-// SetRunCacheEnabled toggles the memoized run cache (a cold run
-// re-simulates every cell) and returns the previous setting. Disabling
-// also drops the cached cells.
-func SetRunCacheEnabled(on bool) bool {
-	runCache.Lock()
-	defer runCache.Unlock()
-	prev := !runCache.disabled
-	runCache.disabled = !on
-	if !on {
-		runCache.m = map[cellKey]Result{}
-	}
-	return prev
-}
-
-// ResetRunCache drops every memoized cell and zeroes the counters.
-func ResetRunCache() {
-	runCache.Lock()
-	defer runCache.Unlock()
-	runCache.m = map[cellKey]Result{}
-	runCache.hits, runCache.misses = 0, 0
-}
+// This file is the matrix side of the experiment scheduler: a (config ×
+// workload) grid is flattened into independent cells and resolved
+// through the cell-execution core (cell.go). The default runner drives a
+// GOMAXPROCS-bounded local pool; the CLI and the grid service install a
+// shared scheduler through SetMatrixRunner so every subcommand and every
+// served job feed one queue and one artifact store. Each simulation is
+// deterministic (fixed seeds, no wall-clock inputs), so a cached cell is
+// bit-identical to a fresh run and `svrsim all` stops re-simulating the
+// standard-configs × evaluation-set grid that Figs 1, 11, 12 and 13
+// share.
 
 // CellEvent is delivered to the progress hook after each cell of a
-// scheduler run finishes, whether simulated or served from cache.
+// scheduler run finishes, whether simulated or served from the store.
 type CellEvent struct {
 	Label    string        // configuration label
 	Workload string        // workload name
-	Cached   bool          // served from the run cache
+	Cached   bool          // served resident from the artifact store
+	Shared   bool          // joined another caller's in-flight execution
 	Replayed bool          // consumed a recorded stream instead of a live emulator
 	Wall     time.Duration // wall time spent on the cell
 	Instrs   uint64        // instructions the cell simulated (its Result's window)
@@ -132,6 +48,11 @@ func SetProgressHook(fn func(CellEvent)) {
 	progress.Unlock()
 }
 
+// EmitProgress delivers ev to the installed progress hook. External
+// matrix runners (the grid scheduler) call it so CLI progress reporting
+// works identically whichever runner executes the grid.
+func EmitProgress(ev CellEvent) { emitProgress(ev) }
+
 func emitProgress(ev CellEvent) {
 	progress.Lock()
 	defer progress.Unlock()
@@ -140,17 +61,19 @@ func emitProgress(ev CellEvent) {
 	}
 }
 
-// gridState is the live view of the scheduler, fed by runMatrix's workers
-// and read by status surfaces (the CLI progress line, the -status HTTP
-// endpoint). It describes the current matrix only; a sweep resets it per
-// grid.
-var gridState struct {
-	sync.Mutex
-	active    bool
+// Tracker is the live accounting of one in-flight grid: cell states,
+// shared-pass production time, instruction throughput. The local matrix
+// runner opens one per matrix; the grid service opens one per job. Every
+// open tracker feeds the aggregate CurrentStatus view, so status
+// surfaces see concurrent jobs as one grid. All methods are nil-safe —
+// a nil *Tracker simply drops the accounting (tests, one-off cells).
+type Tracker struct {
+	mu        sync.Mutex
 	start     time.Time
 	cells     int
 	done      int
 	cached    int
+	shared    int // of done, joined from another caller's in-flight cell
 	replayed  int // of done, cells fed by a recorded stream
 	building  int // workers constructing a workload image / machine
 	ckpt      int // workers producing a shared fast-forward checkpoint
@@ -161,137 +84,214 @@ var gridState struct {
 	recWall   time.Duration // completed recording-production wall time
 }
 
-// GridStatus is a point-in-time snapshot of the scheduler.
+// trackers is the registry of open trackers that CurrentStatus folds
+// into the aggregate grid view.
+var trackers = struct {
+	sync.Mutex
+	m map[*Tracker]struct{}
+}{m: map[*Tracker]struct{}{}}
+
+// NewTracker opens a tracker for a grid of the given cell count and
+// registers it with the status surfaces. Close it when the grid ends.
+func NewTracker(cells int) *Tracker {
+	t := &Tracker{start: time.Now(), cells: cells}
+	trackers.Lock()
+	trackers.m[t] = struct{}{}
+	trackers.Unlock()
+	return t
+}
+
+// Close unregisters the tracker from the status surfaces.
+func (t *Tracker) Close() {
+	if t == nil {
+		return
+	}
+	trackers.Lock()
+	delete(trackers.m, t)
+	trackers.Unlock()
+}
+
+// phase moves a worker between the building and running states.
+func (t *Tracker) phase(building, running int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.building += building
+	t.running += running
+	t.mu.Unlock()
+}
+
+// ckptBegin moves the producing worker from "building" (set by the cell
+// core) to the distinct "checkpointing" phase; ckptEnd moves it back and
+// banks the production time for ETA correction.
+func (t *Tracker) ckptBegin() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.building--
+	t.ckpt++
+	t.mu.Unlock()
+}
+
+func (t *Tracker) ckptEnd(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ckpt--
+	t.building++
+	t.ckptWall += d
+	t.mu.Unlock()
+}
+
+// recBegin/recEnd are the recording-pass analogue of ckptBegin/ckptEnd.
+func (t *Tracker) recBegin() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.building--
+	t.recording++
+	t.mu.Unlock()
+}
+
+func (t *Tracker) recEnd(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.recording--
+	t.building++
+	t.recWall += d
+	t.mu.Unlock()
+}
+
+// CellDone banks one finished cell into the tracker.
+func (t *Tracker) CellDone(out CellOutcome, instrs uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.done++
+	if out.Cached {
+		t.cached++
+	}
+	if out.Shared {
+		t.shared++
+	}
+	if out.Replayed {
+		t.replayed++
+	}
+	t.instrs += instrs
+	t.mu.Unlock()
+}
+
+// GridStatus is a point-in-time snapshot of the scheduler: one open grid
+// or the aggregate over every concurrently open grid.
 type GridStatus struct {
-	Active        bool          // a matrix is in flight
-	Cells         int           // total cells of the current matrix
+	Active        bool          // at least one grid is in flight
+	Cells         int           // total cells of the open grids
 	Queued        int           // not yet picked up by a worker
 	Building      int           // constructing workload image / machine
 	Checkpointing int           // producing a shared fast-forward checkpoint
 	Recording     int           // producing a shared stream recording
 	Running       int           // simulating
-	Done          int           // finished (simulated or cached)
-	Cached        int           // of Done, served from the run cache
+	Done          int           // finished (simulated or served from the store)
+	Cached        int           // of Done, served resident from the artifact store
+	Shared        int           // of Done, joined from another job's in-flight cell
 	Replayed      int           // of Done, fed by a recorded stream
 	Instrs        uint64        // instructions simulated by finished cells
 	StreamBytes   int64         // encoded stream bytes produced so far (process-wide)
-	Elapsed       time.Duration // since the matrix started
+	Elapsed       time.Duration // since the earliest open grid started
 	CkptWall      time.Duration // wall time spent producing checkpoints so far
 	RecWall       time.Duration // wall time spent producing recordings so far
 	Rate          float64       // instructions per wall-second so far
 	ETA           time.Duration // projected time to finish, 0 if unknown
 }
 
-// CurrentStatus snapshots the scheduler state for status displays.
-func CurrentStatus() GridStatus {
-	gridState.Lock()
-	defer gridState.Unlock()
-	s := GridStatus{
-		Active: gridState.active, Cells: gridState.cells,
-		Building: gridState.building, Checkpointing: gridState.ckpt,
-		Recording: gridState.recording, Running: gridState.running,
-		Done: gridState.done, Cached: gridState.cached,
-		Replayed: gridState.replayed, Instrs: gridState.instrs,
-		CkptWall: gridState.ckptWall, RecWall: gridState.recWall,
+// Status snapshots one tracker.
+func (t *Tracker) Status() GridStatus {
+	if t == nil {
+		return GridStatus{}
 	}
+	t.mu.Lock()
+	s := GridStatus{
+		Active: true, Cells: t.cells,
+		Building: t.building, Checkpointing: t.ckpt,
+		Recording: t.recording, Running: t.running,
+		Done: t.done, Cached: t.cached, Shared: t.shared,
+		Replayed: t.replayed, Instrs: t.instrs,
+		CkptWall: t.ckptWall, RecWall: t.recWall,
+		Elapsed: time.Since(t.start),
+	}
+	t.mu.Unlock()
+	finishStatus(&s)
+	return s
+}
+
+// CurrentStatus aggregates every open tracker into one scheduler
+// snapshot for status displays. With a single grid in flight (the CLI's
+// single-shot subcommands) it is that grid's status; under the grid
+// service it folds all concurrently running jobs together.
+func CurrentStatus() GridStatus {
+	trackers.Lock()
+	var s GridStatus
+	var earliest time.Time
+	for t := range trackers.m {
+		t.mu.Lock()
+		s.Active = true
+		s.Cells += t.cells
+		s.Done += t.done
+		s.Cached += t.cached
+		s.Shared += t.shared
+		s.Replayed += t.replayed
+		s.Building += t.building
+		s.Checkpointing += t.ckpt
+		s.Recording += t.recording
+		s.Running += t.running
+		s.Instrs += t.instrs
+		s.CkptWall += t.ckptWall
+		s.RecWall += t.recWall
+		if earliest.IsZero() || t.start.Before(earliest) {
+			earliest = t.start
+		}
+		t.mu.Unlock()
+	}
+	trackers.Unlock()
+	if s.Active {
+		s.Elapsed = time.Since(earliest)
+	}
+	finishStatus(&s)
+	return s
+}
+
+// finishStatus derives the queue depth, rate and ETA shared by the
+// per-tracker and aggregate snapshots.
+func finishStatus(s *GridStatus) {
 	s.StreamBytes = RecordingStats().Bytes
 	s.Queued = s.Cells - s.Done - s.Building - s.Checkpointing - s.Recording - s.Running
 	if s.Queued < 0 {
 		s.Queued = 0
 	}
-	if gridState.active {
-		s.Elapsed = time.Since(gridState.start)
-		if sec := s.Elapsed.Seconds(); sec > 0 {
-			s.Rate = float64(s.Instrs) / sec
+	if !s.Active {
+		s.Elapsed = 0
+		return
+	}
+	if sec := s.Elapsed.Seconds(); sec > 0 {
+		s.Rate = float64(s.Instrs) / sec
+	}
+	if s.Done > 0 && s.Done < s.Cells {
+		// Checkpoint and recording production are one-time shared costs,
+		// not per-cell ones: project from per-cell time with them
+		// excluded, so ETA doesn't jump when a shared pass finishes.
+		perCell := s.Elapsed - s.CkptWall - s.RecWall
+		if perCell < 0 {
+			perCell = 0
 		}
-		if s.Done > 0 && s.Done < s.Cells {
-			// Checkpoint and recording production are one-time shared
-			// costs, not per-cell ones: project from per-cell time with
-			// them excluded, so ETA doesn't jump when a shared pass
-			// finishes.
-			perCell := s.Elapsed - s.CkptWall - s.RecWall
-			if perCell < 0 {
-				perCell = 0
-			}
-			s.ETA = time.Duration(float64(perCell) / float64(s.Done) * float64(s.Cells-s.Done))
-		}
+		s.ETA = time.Duration(float64(perCell) / float64(s.Done) * float64(s.Cells-s.Done))
 	}
-	return s
-}
-
-func gridBegin(cells int) {
-	gridState.Lock()
-	gridState.active = true
-	gridState.start = time.Now()
-	gridState.cells = cells
-	gridState.done, gridState.cached, gridState.replayed = 0, 0, 0
-	gridState.building, gridState.ckpt, gridState.recording, gridState.running = 0, 0, 0, 0
-	gridState.instrs = 0
-	gridState.ckptWall, gridState.recWall = 0, 0
-	gridState.Unlock()
-}
-
-func gridPhase(building, running int) {
-	gridState.Lock()
-	gridState.building += building
-	gridState.running += running
-	gridState.Unlock()
-}
-
-// gridCkptBegin moves the producing worker from "building" (set by the
-// worker loop) to the distinct "checkpointing" phase; gridCkptEnd moves
-// it back and banks the production time for ETA correction.
-func gridCkptBegin() {
-	gridState.Lock()
-	gridState.building--
-	gridState.ckpt++
-	gridState.Unlock()
-}
-
-func gridCkptEnd(d time.Duration) {
-	gridState.Lock()
-	gridState.ckpt--
-	gridState.building++
-	gridState.ckptWall += d
-	gridState.Unlock()
-}
-
-// gridRecBegin/gridRecEnd are the recording-pass analogue of
-// gridCkptBegin/gridCkptEnd: the producing worker leaves "building" for
-// the distinct "recording" phase, and its production time is banked so
-// the ETA projection treats it as a shared one-time cost.
-func gridRecBegin() {
-	gridState.Lock()
-	gridState.building--
-	gridState.recording++
-	gridState.Unlock()
-}
-
-func gridRecEnd(d time.Duration) {
-	gridState.Lock()
-	gridState.recording--
-	gridState.building++
-	gridState.recWall += d
-	gridState.Unlock()
-}
-
-func gridCellDone(cached, replayed bool, instrs uint64) {
-	gridState.Lock()
-	gridState.done++
-	if cached {
-		gridState.cached++
-	}
-	if replayed {
-		gridState.replayed++
-	}
-	gridState.instrs += instrs
-	gridState.Unlock()
-}
-
-func gridFinish() {
-	gridState.Lock()
-	gridState.active = false
-	gridState.Unlock()
 }
 
 // CellStat is the scheduling record of one grid cell.
@@ -299,16 +299,18 @@ type CellStat struct {
 	Label    string
 	Workload string
 	Cached   bool
+	Shared   bool // joined another job's in-flight execution of the same cell
 	Replayed bool // fed by a recorded stream instead of a live emulator
 	Wall     time.Duration
 }
 
 // SchedStats aggregates scheduler counters: how many cells an experiment
-// ran, how many the memo served, how many consumed a recorded stream,
-// and the wall time spent.
+// ran, how many the store served (resident or joined in flight), how
+// many consumed a recorded stream, and the wall time spent.
 type SchedStats struct {
 	Cells    int
 	Cached   int
+	Shared   int `json:",omitempty"`
 	Replayed int
 	Wall     time.Duration
 }
@@ -316,6 +318,7 @@ type SchedStats struct {
 func (s *SchedStats) add(o SchedStats) {
 	s.Cells += o.Cells
 	s.Cached += o.Cached
+	s.Shared += o.Shared
 	s.Replayed += o.Replayed
 	s.Wall += o.Wall
 }
@@ -326,6 +329,50 @@ type ResultSet struct {
 	rows  map[string]map[string]Result
 	Cells []CellStat
 	Stats SchedStats
+}
+
+// NewResultSet returns an empty set shaped for the given configuration
+// labels; AddCell fills it and Finish seals it. The matrix runners (the
+// local pool and the grid service) share this assembly so their output
+// is structurally identical.
+func NewResultSet(cfgs []Config) *ResultSet {
+	rs := &ResultSet{rows: make(map[string]map[string]Result, len(cfgs))}
+	for _, cfg := range cfgs {
+		rs.rows[cfg.Label] = map[string]Result{}
+	}
+	return rs
+}
+
+// AddCell records one finished cell. Callers serialize AddCell calls.
+func (rs *ResultSet) AddCell(res Result, st CellStat) {
+	row, ok := rs.rows[st.Label]
+	if !ok {
+		row = map[string]Result{}
+		rs.rows[st.Label] = row
+	}
+	row[st.Workload] = res
+	rs.Cells = append(rs.Cells, st)
+	rs.Stats.Cells++
+	if st.Cached {
+		rs.Stats.Cached++
+	}
+	if st.Shared {
+		rs.Stats.Shared++
+	}
+	if st.Replayed {
+		rs.Stats.Replayed++
+	}
+}
+
+// Finish seals the set: cells are sorted into the deterministic
+// (workload, label) order the renderers expect.
+func (rs *ResultSet) Finish() {
+	sort.Slice(rs.Cells, func(i, j int) bool {
+		if rs.Cells[i].Workload != rs.Cells[j].Workload {
+			return rs.Cells[i].Workload < rs.Cells[j].Workload
+		}
+		return rs.Cells[i].Label < rs.Cells[j].Label
+	})
 }
 
 // Row returns the per-workload results of one configuration label.
@@ -354,6 +401,7 @@ func (rs *ResultSet) JSON() ([]byte, error) {
 		Label    string
 		Workload string
 		Cached   bool
+		Shared   bool `json:",omitempty"`
 		Replayed bool
 		WallNS   int64
 		Result   Result
@@ -366,252 +414,71 @@ func (rs *ResultSet) JSON() ([]byte, error) {
 		res := rs.rows[c.Label][c.Workload]
 		out.Cells = append(out.Cells, cellJSON{
 			Label: c.Label, Workload: c.Workload,
-			Cached: c.Cached, Replayed: c.Replayed,
+			Cached: c.Cached, Shared: c.Shared, Replayed: c.Replayed,
 			WallNS: c.Wall.Nanoseconds(), Result: res,
 		})
 	}
 	return json.MarshalIndent(out, "", "  ")
 }
 
-// masterEntry shares one workload build across the cells that need it.
-// The build is lazy — a workload whose every cell hits the cache is never
-// built — and the matrix-local reference is released once its last cell
-// finishes (the process-wide build cache may retain the image longer).
-type masterEntry struct {
-	once      sync.Once
-	inst      *workloads.Instance
-	remaining int
-}
+// MatrixRunner executes one (configs × workloads) grid and returns its
+// ResultSet. Labels must be unique within one call (they key the result
+// rows).
+type MatrixRunner func(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet
 
-func (e *masterEntry) instance(spec workloads.Spec, sc workloads.Scale) *workloads.Instance {
-	e.once.Do(func() { e.inst = cachedBuild(spec, sc) })
-	return e.inst
-}
-
-// buildKey identifies one deterministic cacheable image. Raw workload
-// builds are pure functions of (generator, scale), so name+scale is a
-// content key (ff, warm and stream stay zero). Post-fast-forward
-// checkpoints additionally depend on the fast-forward length and — when
-// warming — on the warm-relevant machine geometry (warmKey). Stream
-// recordings depend on the fast-forward length and the recorded window
-// size, never on warm geometry: the functional stream is the same
-// whatever the caches look like.
-type buildKey struct {
-	name   string
-	scale  workloads.Scale
-	ff     uint64 // 0: raw image; >0: checkpoint/recording after ff instructions
-	warm   string // warm-geometry hash when the fast-forward warmed, else ""
-	stream uint64 // recorded window length for stream recordings, else 0
-}
-
-// buildCache memoizes workload images — and, since the checkpoint layer,
-// post-fast-forward checkpoints — across scheduler invocations. A sweep
-// like `svrsim all` runs ~15 experiments over largely the same workload
-// set; without the cache every matrix re-runs the same Kronecker
-// generation and sorting, and every cell re-runs its workload's
-// fast-forward. Copy-on-write Clone makes retention safe: cells clone
-// the image and never write the master, so a cached entry stays
-// pristine. The cache is byte-budgeted (LRU) so paper-scale images
-// cannot pile up without bound.
-var buildCache = struct {
+var matrixCtl = struct {
 	sync.Mutex
-	m     map[buildKey]any // *workloads.Instance or *Checkpoint
-	order []buildKey       // LRU order, least recently used first
-	bytes int64
-	limit int64
-}{m: map[buildKey]any{}, limit: 512 << 20}
+	runner MatrixRunner
+}{}
 
-func instanceBytes(inst *workloads.Instance) int64 {
-	return int64(inst.Mem.Pages()) * mem.PageSize
+// SetMatrixRunner installs the grid executor every experiment matrix
+// routes through, returning the previous one (nil means the built-in
+// local pool). The CLI installs the shared grid scheduler here so
+// single-shot subcommands and the serve service are thin clients of the
+// same scheduler core.
+func SetMatrixRunner(r MatrixRunner) MatrixRunner {
+	matrixCtl.Lock()
+	defer matrixCtl.Unlock()
+	prev := matrixCtl.runner
+	matrixCtl.runner = r
+	return prev
 }
 
-// entryBytes sizes one build-cache entry for the byte budget.
-func entryBytes(v any) int64 {
-	switch e := v.(type) {
-	case *workloads.Instance:
-		return instanceBytes(e)
-	case *Checkpoint:
-		return e.Bytes()
-	case *stream.Recording:
-		return int64(e.Bytes())
-	}
-	return 0
-}
-
-// touchBuild moves k to the most-recently-used end of the LRU order.
-func touchBuild(k buildKey) {
-	for i, o := range buildCache.order {
-		if o == k {
-			copy(buildCache.order[i:], buildCache.order[i+1:])
-			buildCache.order[len(buildCache.order)-1] = k
-			return
-		}
-	}
-}
-
-// cachedBuild returns the memoized image for (spec, sc), building it on a
-// miss. Matrices run sequentially, so a key is never built twice
-// concurrently; within one matrix each workload is guarded by its
-// masterEntry's sync.Once.
-func cachedBuild(spec workloads.Spec, sc workloads.Scale) *workloads.Instance {
-	k := buildKey{name: spec.Name, scale: sc}
-	buildCache.Lock()
-	if inst, ok := buildCache.m[k]; ok {
-		touchBuild(k)
-		buildCache.Unlock()
-		return inst.(*workloads.Instance)
-	}
-	buildCache.Unlock()
-
-	inst := spec.Build(sc)
-
-	buildCache.Lock()
-	defer buildCache.Unlock()
-	if prev, ok := buildCache.m[k]; ok { // lost a (cross-matrix) race
-		touchBuild(k)
-		return prev.(*workloads.Instance)
-	}
-	storeBuild(k, inst)
-	return inst
-}
-
-// storeBuild inserts an entry and evicts LRU entries past the byte
-// budget. Caller holds buildCache's lock.
-func storeBuild(k buildKey, v any) {
-	buildCache.m[k] = v
-	buildCache.order = append(buildCache.order, k)
-	buildCache.bytes += entryBytes(v)
-	for buildCache.bytes > buildCache.limit && len(buildCache.order) > 1 {
-		victim := buildCache.order[0]
-		buildCache.order = buildCache.order[1:]
-		buildCache.bytes -= entryBytes(buildCache.m[victim])
-		delete(buildCache.m, victim)
-	}
-}
-
-// cloneInstance copies the memory image so a run (which mutates memory
-// through stores) cannot contaminate the shared master build.
-func cloneInstance(master *workloads.Instance) *workloads.Instance {
-	return &workloads.Instance{
-		Name: master.Name, Prog: master.Prog,
-		Mem: master.Mem.Clone(), Check: master.Check,
-	}
-}
-
-// warmKey hashes the configuration state functional warming actually
-// depends on: cache/TLB/prefetcher geometry and branch-predictor table
-// size. Latencies, MSHR count, walker count and the DRAM model never
-// touch warmed tags, so sweeps over them (MSHR/bandwidth sensitivity)
-// share one warmed checkpoint per workload.
-func warmKey(cfg Config) string {
-	hier := cfg.Hier
-	hier.L1Latency, hier.L2Latency, hier.STLBLatency, hier.WalkLatency = 0, 0, 0, 0
-	hier.L1MSHRs, hier.NumPTWs = 0, 0
-	hier.DRAM = dram.Config{}
-	bits := cfg.InO.BPredTableBits
-	if cfg.Core == OoO {
-		bits = cfg.OoO.BPredTableBits
-	}
-	blob, err := json.Marshal(struct {
-		Hier      cache.Config
-		BPredBits uint
-	}{hier, bits})
-	if err != nil {
-		panic(fmt.Sprintf("sim: cannot hash warm geometry: %v", err))
-	}
-	sum := sha256.Sum256(blob)
-	return fmt.Sprintf("%x", sum[:8])
-}
-
-// ckptFlight collapses concurrent producers of one checkpoint key: the
-// fast-forward is the expensive shared step, so exactly one worker runs
-// it while the rest wait for its result.
-var ckptFlight = struct {
-	sync.Mutex
-	m map[buildKey]*ckptCall
-}{m: map[buildKey]*ckptCall{}}
-
-type ckptCall struct {
-	done chan struct{}
-	ck   *Checkpoint
-}
-
-// cachedCheckpoint returns the shared post-fast-forward checkpoint for
-// (workload, params, warm geometry), producing it once on a miss: build
-// (or fetch) the raw image, fast-forward a throwaway machine, capture.
-func cachedCheckpoint(spec workloads.Spec, cfg Config, p Params) *Checkpoint {
-	k := buildKey{name: spec.Name, scale: p.Scale, ff: p.FastForward}
-	if p.Warm {
-		k.warm = warmKey(cfg)
-	}
-	buildCache.Lock()
-	if v, ok := buildCache.m[k]; ok {
-		touchBuild(k)
-		buildCache.Unlock()
-		return v.(*Checkpoint)
-	}
-	buildCache.Unlock()
-
-	ckptFlight.Lock()
-	if call, ok := ckptFlight.m[k]; ok {
-		ckptFlight.Unlock()
-		<-call.done
-		return call.ck
-	}
-	call := &ckptCall{done: make(chan struct{})}
-	ckptFlight.m[k] = call
-	ckptFlight.Unlock()
-
-	gridCkptBegin()
-	t0 := time.Now()
-	m, err := NewMachine(cfg, cloneInstance(cachedBuild(spec, p.Scale)))
-	if err != nil {
-		panic(err)
-	}
-	m.FastForward(p.FastForward, p.Warm)
-	ck := m.Checkpoint()
-	gridCkptEnd(time.Since(t0))
-
-	buildCache.Lock()
-	storeBuild(k, ck)
-	buildCache.Unlock()
-
-	call.ck = ck
-	close(call.done)
-	ckptFlight.Lock()
-	delete(ckptFlight.m, k)
-	ckptFlight.Unlock()
-	return ck
-}
-
-// runMatrix simulates every (config, workload) cell of the grid on a
-// GOMAXPROCS-bounded worker pool, front-ended by the run cache. Labels
-// must be unique within one call (they key the result rows). Results are
-// bit-identical to a serial, uncached sweep.
+// runMatrix routes a grid to the installed matrix runner (the local pool
+// by default).
 func runMatrix(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet {
-	start := time.Now()
-	gridBegin(len(cfgs) * len(specs))
-	defer gridFinish()
-	rs := &ResultSet{rows: make(map[string]map[string]Result, len(cfgs))}
-	for _, cfg := range cfgs {
-		rs.rows[cfg.Label] = make(map[string]Result, len(specs))
+	matrixCtl.Lock()
+	r := matrixCtl.runner
+	matrixCtl.Unlock()
+	if r != nil {
+		return r(cfgs, specs, p)
 	}
+	return RunMatrixLocal(cfgs, specs, p)
+}
 
-	masters := make([]*masterEntry, len(specs))
-	for i := range masters {
-		masters[i] = &masterEntry{remaining: len(cfgs)}
-	}
-
-	// Workload-major cell order: with a bounded pool, only a handful of
-	// masters are in flight at once, so peak memory stays at the level of
-	// the old per-workload-goroutine scheme even for huge grids.
-	type cell struct{ wi, ci int }
-	cells := make([]cell, 0, len(cfgs)*len(specs))
-	for wi := range specs {
-		for ci := range cfgs {
-			cells = append(cells, cell{wi, ci})
+// MatrixCells flattens a grid into its cell requests in workload-major
+// order: with a bounded pool, only a handful of workload images are in
+// flight at once, so peak memory stays level even for huge grids. Both
+// matrix runners schedule in this order.
+func MatrixCells(cfgs []Config, specs []workloads.Spec, p Params) []CellRequest {
+	cells := make([]CellRequest, 0, len(cfgs)*len(specs))
+	for _, spec := range specs {
+		for _, cfg := range cfgs {
+			cells = append(cells, CellRequest{Cfg: cfg, Spec: spec, P: p})
 		}
 	}
+	return cells
+}
+
+// RunMatrixLocal simulates every (config, workload) cell of the grid on
+// a GOMAXPROCS-bounded worker pool, front-ended by the artifact store.
+// Results are bit-identical to a serial, uncached sweep.
+func RunMatrixLocal(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet {
+	start := time.Now()
+	cells := MatrixCells(cfgs, specs, p)
+	tr := NewTracker(len(cells))
+	defer tr.Close()
+	rs := NewResultSet(cfgs)
 
 	var (
 		mu   sync.Mutex
@@ -626,95 +493,23 @@ func runMatrix(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			cfg, spec := cfgs[c.ci], specs[c.wi]
-			cellStart := time.Now()
-			key := hashCell(cfg, spec.Name, p)
-			res, cached := cacheGet(key)
-			replayed := false
-			if !cached {
-				gridPhase(+1, 0)
-				switch {
-				case replayEligible(cfg, p):
-					// Execute-once, time-many path: the workload window is
-					// recorded once (cachedRecording, composing with the
-					// shared checkpoint when fast-forwarding) and this cell
-					// replays the buffer through its timing models.
-					replayed = true
-					recd := cachedRecording(spec, cfg, p)
-					var master *workloads.Instance
-					if p.FastForward == 0 {
-						master = masters[c.wi].instance(spec, p.Scale)
-					}
-					m, err := newReplayMachine(cfg, spec, p, recd, master)
-					if err != nil {
-						panic(err)
-					}
-					gridPhase(-1, +1)
-					if p.FastForward > 0 {
-						res = SimulateFrom(m, p)
-					} else {
-						res = Simulate(m, p)
-					}
-				case p.FastForward > 0:
-					// Shared-checkpoint path: the workload's fast-forward
-					// runs once (cachedCheckpoint) and every cell resumes
-					// from a clone of its frozen image.
-					ck := cachedCheckpoint(spec, cfg, p)
-					m, err := NewMachineFrom(cfg, ck)
-					if err != nil {
-						panic(err)
-					}
-					gridPhase(-1, +1)
-					res = SimulateFrom(m, p)
-				default:
-					inst := cloneInstance(masters[c.wi].instance(spec, p.Scale))
-					m, err := NewMachine(cfg, inst)
-					if err != nil {
-						panic(err)
-					}
-					gridPhase(-1, +1)
-					res = Simulate(m, p)
-				}
-				gridPhase(0, -1)
-				cachePut(key, res)
-			}
-			// The cached record may carry another sweep's display label.
-			res.Label = cfg.Label
-			wall := time.Since(cellStart)
-
+			res, out := ExecuteCell(c, tr)
 			mu.Lock()
-			masters[c.wi].remaining--
-			if masters[c.wi].remaining == 0 {
-				masters[c.wi].inst = nil // release the image early
-			}
-			rs.rows[cfg.Label][spec.Name] = res
-			rs.Cells = append(rs.Cells, CellStat{
-				Label: cfg.Label, Workload: spec.Name, Cached: cached,
-				Replayed: replayed, Wall: wall,
+			rs.AddCell(res, CellStat{
+				Label: c.Cfg.Label, Workload: c.Spec.Name, Cached: out.Cached,
+				Shared: out.Shared, Replayed: out.Replayed, Wall: out.Wall,
 			})
-			rs.Stats.Cells++
-			if cached {
-				rs.Stats.Cached++
-			}
-			if replayed {
-				rs.Stats.Replayed++
-			}
 			done++
-			ev := CellEvent{Label: cfg.Label, Workload: spec.Name, Cached: cached,
-				Replayed: replayed,
-				Wall:     wall, Instrs: res.Instrs, Done: done, Cells: len(cells)}
+			ev := CellEvent{Label: c.Cfg.Label, Workload: c.Spec.Name, Cached: out.Cached,
+				Shared: out.Shared, Replayed: out.Replayed,
+				Wall: out.Wall, Instrs: res.Instrs, Done: done, Cells: len(cells)}
 			mu.Unlock()
-			gridCellDone(cached, replayed, res.Instrs)
+			tr.CellDone(out, res.Instrs)
 			emitProgress(ev)
 		}()
 	}
 	wg.Wait()
 	rs.Stats.Wall = time.Since(start)
-	sort.Slice(rs.Cells, func(i, j int) bool {
-		if rs.Cells[i].Workload != rs.Cells[j].Workload {
-			return rs.Cells[i].Workload < rs.Cells[j].Workload
-		}
-		return rs.Cells[i].Label < rs.Cells[j].Label
-	})
+	rs.Finish()
 	return rs
 }

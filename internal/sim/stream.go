@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/emu"
 	"repro/internal/stream"
 	"repro/internal/workloads"
@@ -134,82 +135,48 @@ func RecordingStats() StreamCacheStats {
 	}
 }
 
-// recFlight collapses concurrent producers of one recording key, exactly
-// like ckptFlight does for checkpoints: one worker runs the recording
-// pass, its siblings wait and share the buffer.
-var recFlight = struct {
-	sync.Mutex
-	m map[buildKey]*recCall
-}{m: map[buildKey]*recCall{}}
-
-type recCall struct {
-	done chan struct{}
-	rec  *stream.Recording
-}
-
 // cachedRecording returns the shared recording of one workload window —
 // warmup+measure instructions starting at the post-fast-forward point —
-// producing it once on a miss. The pass is purely functional: a bare
-// emulator steps into the encoder, composing with the checkpoint cache
-// (the fast-forward itself is cachedCheckpoint's, never repeated here).
-func cachedRecording(spec workloads.Spec, cfg Config, p Params) *stream.Recording {
+// producing it at most once across concurrent callers via the artifact
+// store. The pass is purely functional: a bare emulator steps into the
+// encoder, composing with the checkpoint class (the fast-forward itself
+// is cachedCheckpoint's, never repeated here). The outcome reports
+// whether this caller got the buffer from the store (hit or joined
+// flight) rather than recording it.
+func cachedRecording(spec workloads.Spec, cfg Config, p Params, tr *Tracker) (*stream.Recording, artifact.Outcome) {
 	n := p.Warmup + p.Measure
-	k := buildKey{name: spec.Name, scale: p.Scale, ff: p.FastForward, stream: n}
-	buildCache.Lock()
-	if v, ok := buildCache.m[k]; ok {
-		touchBuild(k)
-		buildCache.Unlock()
-		return v.(*stream.Recording)
-	}
-	buildCache.Unlock()
+	k := streamKey(spec.Name, p.Scale, p.FastForward, n)
+	v, oc := artifacts.GetOrProduce(k, func() (any, int64) {
+		// Resolve the start-point image before entering the recording
+		// phase: cachedCheckpoint manages the building/checkpointing
+		// counters itself, so it must run while this worker still counts
+		// as "building".
+		var cpu *emu.CPU
+		if p.FastForward > 0 {
+			ck, _ := cachedCheckpoint(spec, cfg, p, tr)
+			cpu = emu.New(ck.prog, ck.mem.Clone())
+			cpu.LoadArch(ck.arch)
+		} else {
+			inst := cloneInstance(cachedBuild(spec, p.Scale))
+			cpu = emu.New(inst.Prog, inst.Mem)
+		}
 
-	recFlight.Lock()
-	if call, ok := recFlight.m[k]; ok {
-		recFlight.Unlock()
-		<-call.done
-		return call.rec
-	}
-	call := &recCall{done: make(chan struct{})}
-	recFlight.m[k] = call
-	recFlight.Unlock()
+		tr.recBegin()
+		t0 := time.Now()
+		rec, err := stream.Record(cpu, n)
+		if err != nil {
+			panic(err) // the emulator broke the stream contract: a bug, not an input error
+		}
+		tr.recEnd(time.Since(t0))
 
-	// Resolve the start-point image before entering the recording phase:
-	// cachedCheckpoint manages the building/checkpointing counters itself,
-	// so it must run while this worker still counts as "building".
-	var cpu *emu.CPU
-	if p.FastForward > 0 {
-		ck := cachedCheckpoint(spec, cfg, p)
-		cpu = emu.New(ck.prog, ck.mem.Clone())
-		cpu.LoadArch(ck.arch)
-	} else {
-		inst := cloneInstance(cachedBuild(spec, p.Scale))
-		cpu = emu.New(inst.Prog, inst.Mem)
-	}
-
-	gridRecBegin()
-	t0 := time.Now()
-	rec, err := stream.Record(cpu, n)
-	if err != nil {
-		panic(err) // the emulator broke the stream contract: a bug, not an input error
-	}
-	gridRecEnd(time.Since(t0))
-
-	streamStats.Lock()
-	streamStats.recordings++
-	streamStats.bytes += int64(rec.Bytes())
-	streamStats.instrs += rec.N
-	streamStats.Unlock()
-
-	buildCache.Lock()
-	storeBuild(k, rec)
-	buildCache.Unlock()
-
-	call.rec = rec
-	close(call.done)
-	recFlight.Lock()
-	delete(recFlight.m, k)
-	recFlight.Unlock()
-	return rec
+		streamStats.Lock()
+		streamStats.recordings++
+		streamStats.bytes += int64(rec.Bytes())
+		streamStats.instrs += rec.N
+		streamStats.Unlock()
+		return rec, int64(rec.Bytes())
+	})
+	return v.(*stream.Recording), oc
 }
 
 // newReplayMachine builds a machine of cfg fed by the shared recording
@@ -218,14 +185,20 @@ func cachedRecording(spec workloads.Spec, cfg Config, p Params) *stream.Recordin
 // reads or writes data memory. StreamMemory kinds (IMP) get a private
 // clone that the replay source keeps in lockstep by applying decoded
 // stores, so ahead-of-stream dereferences see exactly the bytes a live
-// run would have shown.
+// run would have shown. out (nil-safe) is annotated with whether the
+// checkpoint came from the store.
 func newReplayMachine(cfg Config, spec workloads.Spec, p Params,
-	rec *stream.Recording, master *workloads.Instance) (Machine, error) {
+	rec *stream.Recording, master *workloads.Instance,
+	out *CellOutcome, tr *Tracker) (Machine, error) {
 	needs := StreamNeedsOf(cfg.Core)
 	var inst *workloads.Instance
 	var ck *Checkpoint
 	if p.FastForward > 0 {
-		ck = cachedCheckpoint(spec, cfg, p)
+		var co artifact.Outcome
+		ck, co = cachedCheckpoint(spec, cfg, p, tr)
+		if out != nil {
+			out.CkptFromStore = co.FromStore()
+		}
 		inst = &workloads.Instance{
 			Name: ck.Workload, Prog: ck.prog, Mem: ck.mem, Check: ck.check,
 		}
