@@ -57,6 +57,14 @@ type BenchReport struct {
 	StreamRecordings    int     `json:"stream_recordings,omitempty"`
 	StreamBytes         int64   `json:"stream_bytes,omitempty"`
 	StreamBytesPerInstr float64 `json:"stream_bytes_per_instr,omitempty"`
+
+	// Decode-once cohort accounting: the cohort policy of the run, how
+	// many lockstep cohorts executed, the cells they covered, and their
+	// mean width (cells stepped per shared decoded batch).
+	Cohort      string  `json:"cohort,omitempty"`
+	Cohorts     int     `json:"cohorts,omitempty"`
+	CohortCells int     `json:"cohort_cells,omitempty"`
+	CohortWidth float64 `json:"cohort_width,omitempty"`
 }
 
 // cmdBench runs every experiment cold (run cache disabled, so each cell
@@ -81,7 +89,7 @@ func cmdBench(w io.Writer, args []string) error {
 		def = sim.DefaultParams()
 		scale = "full"
 	}
-	pp, wls, mode, err := g.params(def)
+	pp, wls, mode, cohort, err := g.params(def)
 	if err != nil {
 		return err
 	}
@@ -100,6 +108,8 @@ func cmdBench(w io.Writer, args []string) error {
 	defer sim.SetRunCacheEnabled(prevCache)
 	prevReplay := sim.SetReplayMode(mode)
 	defer sim.SetReplayMode(prevReplay)
+	prevCohort := sim.SetCohortMode(cohort)
+	defer sim.SetCohortMode(prevCohort)
 
 	var cells, replayCells int
 	var instrs uint64
@@ -112,6 +122,7 @@ func cmdBench(w io.Writer, args []string) error {
 	})
 	defer sim.SetProgressHook(nil)
 	rec0 := sim.RecordingStats()
+	coh0runs, coh0cells := sim.CohortStats()
 
 	// Reference rates first, single-threaded and outside the profiled
 	// grid window.
@@ -176,6 +187,13 @@ func cmdBench(w io.Writer, args []string) error {
 		if di := rec.Instrs - rec0.Instrs; di > 0 {
 			rep.StreamBytesPerInstr = float64(rep.StreamBytes) / float64(di)
 		}
+		rep.Cohort = cohort.String()
+		runs, ccells := sim.CohortStats()
+		rep.Cohorts = runs - coh0runs
+		rep.CohortCells = ccells - coh0cells
+		if rep.Cohorts > 0 {
+			rep.CohortWidth = float64(rep.CohortCells) / float64(rep.Cohorts)
+		}
 	}
 	if ffNS > 0 {
 		rep.FFSpeedup = detNS / ffNS
@@ -207,6 +225,10 @@ func cmdBench(w io.Writer, args []string) error {
 		fmt.Fprintf(w, "replay: %d cells replayed, %d live — %d recordings, %.1f MiB (%.2f B/instr)\n",
 			rep.ReplayCells, rep.LiveCells, rep.StreamRecordings,
 			float64(rep.StreamBytes)/(1<<20), rep.StreamBytesPerInstr)
+		if rep.Cohorts > 0 {
+			fmt.Fprintf(w, "cohorts: %d lockstep cohorts covered %d cells (mean width %.1f)\n",
+				rep.Cohorts, rep.CohortCells, rep.CohortWidth)
+		}
 	}
 
 	if *baseF != "" {
@@ -292,6 +314,10 @@ func printBenchDelta(w io.Writer, path string, cur BenchReport) error {
 	if base.Replay != cur.Replay {
 		fmt.Fprintf(w, "  (stream modes differ: baseline replay=%q, current replay=%q)\n",
 			base.Replay, cur.Replay)
+	}
+	if base.Cohort != cur.Cohort {
+		fmt.Fprintf(w, "  (cohort modes differ: baseline cohort=%q, current cohort=%q)\n",
+			base.Cohort, cur.Cohort)
 	}
 	fmt.Fprintf(w, "  wall        %8.1fs -> %8.1fs  (%s)\n", base.WallSeconds, cur.WallSeconds, pct(cur.WallSeconds, base.WallSeconds))
 	fmt.Fprintf(w, "  cells/s     %8.2f -> %8.2f  (%s)\n", base.CellsPerSec, cur.CellsPerSec, pct(cur.CellsPerSec, base.CellsPerSec))

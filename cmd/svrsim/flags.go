@@ -43,6 +43,7 @@ type gridFlags struct {
 	regions *int
 	ckpt    *bool
 	replay  *string
+	cohort  *string
 	wls     *string
 }
 
@@ -59,15 +60,16 @@ func addGridFlags(fs *flag.FlagSet, replayDefault string) *gridFlags {
 		regions: fs.Int("regions", 0, "detailed regions per cell, stitched by fast-forward"),
 		ckpt:    fs.Bool("ckpt", false, "replace detailed warmup with a shared functionally-warmed fast-forward checkpoint"),
 		replay:  fs.String("replay", replayDefault, "instruction-stream replay: on, off, or auto (replay when eligible)"),
+		cohort:  fs.String("cohort", "auto", "timing cohorts: on, off, or auto (lockstep-step eligible sibling cells over shared decoded batches)"),
 		wls:     fs.String("workloads", "", "comma-separated workload filter"),
 	}
 }
 
 // params folds the parsed flags into simulation parameters, the workload
-// filter, and the replay mode. def is the subcommand's base window when
-// no scale flag is given (DefaultParams for run/all, QuickParams for
-// bench).
-func (g *gridFlags) params(def sim.Params) (sim.Params, []string, sim.ReplayMode, error) {
+// filter, and the replay + cohort modes. def is the subcommand's base
+// window when no scale flag is given (DefaultParams for run/all,
+// QuickParams for bench).
+func (g *gridFlags) params(def sim.Params) (sim.Params, []string, sim.ReplayMode, sim.CohortMode, error) {
 	p := def
 	switch *g.scale {
 	case "":
@@ -81,7 +83,7 @@ func (g *gridFlags) params(def sim.Params) (sim.Params, []string, sim.ReplayMode
 	case "paper":
 		p = sim.PaperParams()
 	default:
-		return sim.Params{}, nil, 0, fmt.Errorf("unknown -scale %q (want quick, default, or paper)", *g.scale)
+		return sim.Params{}, nil, 0, 0, fmt.Errorf("unknown -scale %q (want quick, default, or paper)", *g.scale)
 	}
 	if *g.measure > 0 {
 		p.Measure = *g.measure
@@ -105,9 +107,13 @@ func (g *gridFlags) params(def sim.Params) (sim.Params, []string, sim.ReplayMode
 	}
 	mode, err := sim.ParseReplayMode(*g.replay)
 	if err != nil {
-		return sim.Params{}, nil, 0, err
+		return sim.Params{}, nil, 0, 0, err
 	}
-	return p, wls, mode, nil
+	cohort, err := sim.ParseCohortMode(*g.cohort)
+	if err != nil {
+		return sim.Params{}, nil, 0, 0, err
+	}
+	return p, wls, mode, cohort, nil
 }
 
 // foldCheckpoint trades the detailed warmup for a (shared, checkpointed)

@@ -120,6 +120,9 @@ run/all flags:
   -ckpt              swap detailed warmup for a shared fast-forward checkpoint
   -replay M          instruction-stream replay: on, off, or auto (default auto:
                      record each window once, replay into every eligible cell)
+  -cohort M          timing cohorts: on, off, or auto (default auto: decode each
+                     recording once and lockstep-step eligible sibling cells
+                     over the shared batches; results are bit-identical)
   -timeseries F      sample every cell's counters into a per-interval CSV at F
   -sample N          sampling interval in instructions (default 100000)
   -status ADDR       serve live scheduler status on ADDR (/status, expvar, pprof)
@@ -177,12 +180,13 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 	if err := fs.Parse(args); err != nil {
 		return sim.ExpParams{}, nil, err
 	}
-	pp, wls, mode, err := g.params(sim.DefaultParams())
+	pp, wls, mode, cohort, err := g.params(sim.DefaultParams())
 	if err != nil {
 		return sim.ExpParams{}, nil, err
 	}
 	p := sim.ExpParams{Params: pp, Workloads: wls}
 	replayMode = mode
+	cohortMode = cohort
 	csvMode = *csvF
 	jsonMode = *jsonF || *metricsF // -metrics is JSON output with snapshots
 	metricsMode = *metricsF
@@ -203,6 +207,7 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 var csvMode, jsonMode, metricsMode, coldMode bool
 var timeseriesPath, statusAddr string
 var replayMode sim.ReplayMode
+var cohortMode sim.CohortMode
 
 func printReport(w io.Writer, r *sim.Report) error {
 	if jsonMode {
@@ -286,6 +291,10 @@ func startProgressTicker(curExp *string) func() {
 				if st.Recording > 0 {
 					ckpt += fmt.Sprintf(", %d recording", st.Recording)
 				}
+				if st.Cohorts > 0 {
+					ckpt += fmt.Sprintf(", %d cohorts (%.1f cells/cohort)",
+						st.Cohorts, float64(st.CohortCells)/float64(st.Cohorts))
+				}
 				progressMu.Lock()
 				fmt.Fprintf(os.Stderr, "\r%s: %d/%d done (%d queued, %d building%s, %d running%s)",
 					*curExp, st.Done, st.Cells, st.Queued, st.Building, ckpt, st.Running, statusSuffix())
@@ -306,6 +315,7 @@ func applyRunFlags(curExp *string) func() {
 		prevCache = sim.SetRunCacheEnabled(false)
 	}
 	prevReplay := sim.SetReplayMode(replayMode)
+	prevCohort := sim.SetCohortMode(cohortMode)
 	prevMetrics := sim.SetCellMetrics(metricsMode)
 	prevSeries := sim.SetCellSeries(timeseriesPath != "")
 	sim.SetProgressHook(progressPrinter(curExp))
@@ -333,6 +343,7 @@ func applyRunFlags(curExp *string) func() {
 		sim.SetProgressHook(nil)
 		sim.SetCellSeries(prevSeries)
 		sim.SetCellMetrics(prevMetrics)
+		sim.SetCohortMode(prevCohort)
 		sim.SetReplayMode(prevReplay)
 		if coldMode {
 			sim.SetRunCacheEnabled(prevCache)

@@ -186,6 +186,83 @@ func TestCoreStepNoSinkDoesNotAllocate(t *testing.T) {
 	}
 }
 
+// benchRecording records a window of the bench kernel for the replay
+// and batch-decode guards below.
+func benchRecording(t *testing.T, n uint64) *stream.Recording {
+	t.Helper()
+	cpu := emu.New(stepProg(), mem.New())
+	rec, err := stream.Record(cpu, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestReplayNextDoesNotAllocate guards the stream decoder: replaying one
+// recorded instruction must not allocate, or every replayed cell pays GC
+// tax the live emulator doesn't.
+func TestReplayNextDoesNotAllocate(t *testing.T) {
+	rec := benchRecording(t, 1<<15)
+	src := stream.NewReplay(rec)
+	var r emu.DynInstr
+	for i := 0; i < 1<<10; i++ {
+		src.Next(&r)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { src.Next(&r) }); allocs != 0 {
+		t.Fatalf("ReplaySource.Next allocates %.1f objects per instruction; decode must be allocation-free", allocs)
+	}
+}
+
+// TestReplaySourcePoolDoesNotAllocate guards the pooled decode scratch:
+// after a Recycle, opening the next cell's source must reuse the pooled
+// struct instead of allocating a fresh register-file-sized cursor.
+func TestReplaySourcePoolDoesNotAllocate(t *testing.T) {
+	rec := benchRecording(t, 1<<10)
+	stream.NewReplay(rec).Recycle() // prime the pool
+	if allocs := testing.AllocsPerRun(100, func() {
+		stream.NewReplay(rec).Recycle()
+	}); allocs != 0 {
+		t.Fatalf("NewReplay after Recycle allocates %.1f objects per cell; the cursor must come from the pool", allocs)
+	}
+}
+
+// TestBatchFillDoesNotAllocate guards the SoA batch decoder: once a
+// chunk's columns are sized, refilling it from the stream must be
+// allocation-free (cohorts recycle chunk buffers across a whole grid).
+func TestBatchFillDoesNotAllocate(t *testing.T) {
+	rec := benchRecording(t, 1<<15)
+	src := stream.NewReplay(rec)
+	const rows = 256
+	b := new(stream.DecodedBatch)
+	b.Fill(src, rows) // first fill sizes the columns
+	if allocs := testing.AllocsPerRun(10, func() { b.Fill(src, rows) }); allocs != 0 {
+		t.Fatalf("DecodedBatch.Fill allocates %.1f objects per chunk after sizing; refills must reuse the columns", allocs)
+	}
+}
+
+// TestCohortStepDoesNotAllocate guards the lockstep batch-step path: one
+// decoded row issued into a core must not allocate, exactly like the
+// live per-instruction path it replaces.
+func TestCohortStepDoesNotAllocate(t *testing.T) {
+	rec := benchRecording(t, 1<<15)
+	src := stream.NewReplay(rec)
+	b := new(stream.DecodedBatch)
+	n := b.Fill(src, 1<<14)
+	h := cache.NewHierarchy(cache.DefaultConfig())
+	core := inorder.New(inorder.DefaultConfig(), h)
+	core.RunBatch(b, 0, n/2) // warm caches and predictor tables
+	i := n / 2
+	if allocs := testing.AllocsPerRun(1000, func() {
+		core.RunBatch(b, i, i+1)
+		i++
+		if i == n {
+			i = n / 2
+		}
+	}); allocs != 0 {
+		t.Fatalf("cohort batch step allocates %.1f objects per instruction; lockstep stepping must be allocation-free", allocs)
+	}
+}
+
 // TestMemReadWriteDoesNotAllocate guards the radix-table memory: accesses
 // to already-touched pages must not allocate.
 func TestMemReadWriteDoesNotAllocate(t *testing.T) {

@@ -25,11 +25,12 @@ const (
 	Image      Class = "image"      // built workload memory images
 	Checkpoint Class = "checkpoint" // post-fast-forward machine checkpoints
 	Stream     Class = "stream"     // recorded instruction streams
+	Decoded    Class = "decoded"    // decoded SoA batches of stream chunks
 	Result     Class = "result"     // memoized cell results
 )
 
 // Classes lists every class in stable display order.
-func Classes() []Class { return []Class{Image, Checkpoint, Stream, Result} }
+func Classes() []Class { return []Class{Image, Checkpoint, Stream, Decoded, Result} }
 
 // Key addresses one artifact: its class plus a content hash (or any
 // canonical encoding of everything the artifact's bytes depend on).
@@ -257,6 +258,115 @@ func (s *Store) GetOrProduce(k Key, produce func() (v any, bytes int64)) (any, O
 	c.v = v
 	close(c.done)
 	return v, Outcome{}
+}
+
+// Ticket is the handle of a split-phase lookup (Begin): either this
+// caller owns the production slot and must Commit (or Abandon) it, or
+// another caller is producing and Wait blocks for their value.
+//
+// Begin/Commit exist for the cohort driver: a cohort resolves K result
+// keys up front, runs the claimed members together in lockstep, commits
+// their results, and only then waits on the keys other workers had in
+// flight. A plain GetOrProduce would force the cohort to nest K produce
+// closures — or worse, deadlock when two members of one cohort share a
+// content key (sweeps relabel identical configurations all the time).
+type Ticket struct {
+	s        *Store
+	k        Key
+	c        *call
+	owner    bool
+	disabled bool // class disabled: private production, no residency
+	settled  bool
+}
+
+// Owner reports whether this caller holds the production slot.
+func (t *Ticket) Owner() bool { return t.owner }
+
+// Wait blocks until the owning caller commits, then returns the value.
+// Only valid on non-owner tickets.
+func (t *Ticket) Wait() any {
+	<-t.c.done
+	return t.c.v
+}
+
+// Commit publishes the produced value: it is inserted (unless the class
+// is disabled), production is counted, and waiters wake. Only valid on
+// owner tickets, once.
+func (t *Ticket) Commit(v any, bytes int64) {
+	if !t.owner || t.settled {
+		panic("artifact: Commit on a non-owner or settled ticket")
+	}
+	t.settled = true
+	s := t.s
+	s.mu.Lock()
+	cc := s.class(t.k.Class)
+	cc.produced++
+	if t.disabled {
+		s.mu.Unlock()
+		return
+	}
+	if !cc.disabled { // the class may have been disabled mid-production
+		s.insert(t.k, v, bytes)
+	}
+	delete(s.flight, t.k)
+	s.mu.Unlock()
+	t.c.v = v
+	close(t.c.done)
+}
+
+// Abandon releases an owner ticket without a value (the production
+// failed): the flight is dropped and waiters wake with a nil value.
+func (t *Ticket) Abandon() {
+	if !t.owner || t.settled {
+		return
+	}
+	t.settled = true
+	if t.disabled {
+		return
+	}
+	s := t.s
+	s.mu.Lock()
+	delete(s.flight, t.k)
+	s.mu.Unlock()
+	close(t.c.done)
+}
+
+// Begin is the split-phase form of GetOrProduce. It returns exactly one
+// of three shapes, with the same counter semantics as GetOrProduce:
+//
+//   - resident value: (v, Outcome{Hit: true}, nil) — nothing to do;
+//   - join: (nil, Outcome{Waited: true}, t) with !t.Owner() — call
+//     t.Wait() for the value once convenient;
+//   - claim: (nil, Outcome{}, t) with t.Owner() — produce the value,
+//     then t.Commit it.
+//
+// When k's class is disabled every caller gets a private claim ticket
+// (no residency, no flight-sharing), exactly like GetOrProduce.
+func (s *Store) Begin(k Key) (any, Outcome, *Ticket) {
+	s.mu.Lock()
+	cc := s.class(k.Class)
+	if cc.disabled {
+		cc.misses++
+		s.mu.Unlock()
+		return nil, Outcome{}, &Ticket{s: s, k: k, owner: true, disabled: true}
+	}
+	if e, ok := s.entries[k]; ok {
+		cc.hits++
+		s.touch(k)
+		v := e.v
+		s.mu.Unlock()
+		return v, Outcome{Hit: true}, nil
+	}
+	cc.misses++
+	if c, ok := s.flight[k]; ok {
+		cc.waited++
+		s.mu.Unlock()
+		return nil, Outcome{Waited: true}, &Ticket{s: s, k: k, c: c}
+	}
+	c := &call{done: make(chan struct{})}
+	s.flight[k] = c
+	s.mu.Unlock()
+	return nil, Outcome{}, &Ticket{s: s, k: k, c: c, owner: true}
 }
 
 // SetClassEnabled toggles residency and flight-sharing for one class and

@@ -39,6 +39,15 @@ type TLB struct {
 	missVPN    uint64
 	missVictim int
 
+	// slotIdx is a direct-mapped vpn→slot hint table: slotIdx[vpn&mask]
+	// holds flat slot index+1 of the slot that last held vpn. Purely an
+	// accelerator for the hit scan — every hint is verified against vpns
+	// before use (a stale or colliding hint just falls back to the scan),
+	// and the hit it shortcuts replays exactly the scan hit's state
+	// updates, so LRU order, counters, and victims are bit-identical.
+	slotIdx     []uint32
+	slotIdxMask uint64
+
 	Accesses int64
 	Misses   int64
 }
@@ -56,12 +65,20 @@ func NewTLB(name string, entries, ways int) *TLB {
 	if numSets == 0 || numSets&(numSets-1) != 0 {
 		panic("tlb: bad geometry")
 	}
+	// Hint table sized ~8x the slot count (min 64, power of two): sparse
+	// enough that distinct resident pages rarely collide on a bucket.
+	hintN := 64
+	for hintN < numSets*ways*8 {
+		hintN <<= 1
+	}
 	return &TLB{
-		Name:    name,
-		vpns:    make([]uint64, numSets*ways),
-		lastUse: make([]uint64, numSets*ways),
-		ways:    ways,
-		setMask: uint64(numSets - 1),
+		Name:        name,
+		vpns:        make([]uint64, numSets*ways),
+		lastUse:     make([]uint64, numSets*ways),
+		ways:        ways,
+		setMask:     uint64(numSets - 1),
+		slotIdx:     make([]uint32, hintN),
+		slotIdxMask: uint64(hintN - 1),
 	}
 }
 
@@ -77,6 +94,16 @@ func (t *TLB) Lookup(addr uint64) bool {
 		t.lastUse[t.fastIdx] = t.clock
 		return true
 	}
+	// Hint probe: a verified hint is exactly a scan hit (a slot can only
+	// ever hold vpns of its own set, so vpns[idx] matching proves set
+	// membership too), minus the walk to find it.
+	if hi := t.slotIdx[vpn&t.slotIdxMask]; hi != 0 && t.vpns[hi-1] == vpn+1 {
+		idx := uint64(hi - 1)
+		t.clock++
+		t.lastUse[idx] = t.clock
+		t.fastVPN, t.fastIdx = vpn+1, idx
+		return true
+	}
 	base := t.setBase(vpn)
 	keys := t.vpns[base : base+uint64(t.ways)]
 	for i, k := range keys {
@@ -85,6 +112,7 @@ func (t *TLB) Lookup(addr uint64) bool {
 			t.clock++
 			t.lastUse[idx] = t.clock
 			t.fastVPN, t.fastIdx = vpn+1, idx
+			t.slotIdx[vpn&t.slotIdxMask] = uint32(idx + 1)
 			return true
 		}
 	}
@@ -92,23 +120,18 @@ func (t *TLB) Lookup(addr uint64) bool {
 	// Miss: pick the victim the Insert that follows will need (same
 	// selection rule as Insert's scan — on a miss no entry matches, so
 	// the interleaved match checks are vacuous) while the set is hot.
-	// Kept off the hit path: hits pay nothing for the stash. Split form
-	// of the fused rule "last invalid slot, else first minimum lastUse":
-	// the zero-scan never fires once the set fills, leaving a tight
-	// min-scan in steady state.
-	vi := -1
+	// Kept off the hit path: hits pay nothing for the stash. One fused
+	// pass over keys+lastUse implementing "last invalid slot, else first
+	// minimum lastUse": once vi points at an invalid slot the min branch
+	// is dead, so a filling set degrades to the pure zero-scan and a full
+	// set to the pure min-scan.
+	use := t.lastUse[base : base+uint64(t.ways)]
+	vi := 0
 	for i, k := range keys {
 		if k == 0 {
 			vi = i
-		}
-	}
-	if vi < 0 {
-		use := t.lastUse[base : base+uint64(t.ways)]
-		vi = 0
-		for i := 1; i < len(use); i++ {
-			if use[i] < use[vi] {
-				vi = i
-			}
+		} else if keys[vi] != 0 && use[i] < use[vi] {
+			vi = i
 		}
 	}
 	t.missVPN, t.missVictim = vpn+1, vi
@@ -133,6 +156,7 @@ func (t *TLB) Insert(addr uint64) {
 		t.vpns[idx] = vpn + 1
 		t.lastUse[idx] = t.clock
 		t.fastVPN, t.fastIdx = vpn+1, idx
+		t.slotIdx[vpn&t.slotIdxMask] = uint32(idx + 1)
 		return
 	}
 	t.missVPN = 0
@@ -140,7 +164,9 @@ func (t *TLB) Insert(addr uint64) {
 	vi := 0
 	for i, k := range keys {
 		if k == vpn+1 {
-			t.fastVPN, t.fastIdx = vpn+1, base+uint64(i)
+			idx := base + uint64(i)
+			t.fastVPN, t.fastIdx = vpn+1, idx
+			t.slotIdx[vpn&t.slotIdxMask] = uint32(idx + 1)
 			return
 		}
 		if k == 0 {
@@ -154,6 +180,7 @@ func (t *TLB) Insert(addr uint64) {
 	t.vpns[idx] = vpn + 1
 	t.lastUse[idx] = t.clock
 	t.fastVPN, t.fastIdx = vpn+1, idx
+	t.slotIdx[vpn&t.slotIdxMask] = uint32(idx + 1)
 }
 
 // WalkerPool models the page-table walkers (4 in Table III) as a resource

@@ -64,7 +64,8 @@ type Core struct {
 	slot        int64 // issue-slot cursor (cycle*Width + slot index)
 	width       int64 // Cfg.Width, hoisted for the per-issue conversions
 	fWidth      float64
-	invWidth    float64 // 1/Width, the per-slot CPI-stack increment
+	invWidth    float64      // 1/Width, the per-slot CPI-stack increment
+	batchRec    emu.DynInstr // scratch row for RunBatch (keeps the loop allocation-free)
 	regReady    [isa.NumRegs]int64
 	regReason   [isa.NumRegs]stats.StallReason
 	flagsReady  int64
@@ -408,4 +409,20 @@ func (c *Core) Run(src stream.InstrSource, maxInstr uint64) uint64 {
 		n++
 	}
 	return n
+}
+
+// RunBatch issues rows [lo, hi) of a shared decoded batch through the
+// core: the cohort driver's lockstep entry point. Each row is copied
+// into the same DynInstr record Issue consumes from Run, so the timing
+// walk is bit-identical to replaying the rows through an InstrSource —
+// the batch only removes the per-instruction decode and the interface
+// dispatch.
+func (c *Core) RunBatch(b *stream.DecodedBatch, lo, hi int) {
+	// The scratch record lives on the core, not the stack: Issue's
+	// receiver-escape would otherwise heap-allocate it every call.
+	rec := &c.batchRec
+	for i := lo; i < hi; i++ {
+		b.Row(i, rec)
+		c.Issue(rec)
+	}
 }

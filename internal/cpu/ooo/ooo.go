@@ -54,11 +54,12 @@ type Core struct {
 	BP     *bpred.Predictor
 	Tracer trace.Tracer // optional pipeline event tracing
 
-	dispatchSlot int64   // front-end cursor, slot units
-	commitSlot   int64   // in-order commit cursor, slot units
-	rob          ring    // FIFO of commit times of in-flight entries
-	lsq          ring    // FIFO of commit times of in-flight mem ops
-	rs           []int64 // issue times of entries occupying the reservation station
+	dispatchSlot int64        // front-end cursor, slot units
+	commitSlot   int64        // in-order commit cursor, slot units
+	rob          ring         // FIFO of commit times of in-flight entries
+	lsq          ring         // FIFO of commit times of in-flight mem ops
+	rs           []int64      // issue times of entries occupying the reservation station
+	batchRec     emu.DynInstr // scratch row for RunBatch (keeps the loop allocation-free)
 	regReady     [isa.NumRegs]int64
 	regReason    [isa.NumRegs]stats.StallReason
 	flagsReady   int64
@@ -390,4 +391,18 @@ func (c *Core) Run(src stream.InstrSource, maxInstr uint64) uint64 {
 		n++
 	}
 	return n
+}
+
+// RunBatch issues rows [lo, hi) of a shared decoded batch through the
+// core — bit-identical to Run over a source yielding the same records
+// (each row is copied into the one DynInstr Issue consumes), minus the
+// per-instruction decode and interface dispatch.
+func (c *Core) RunBatch(b *stream.DecodedBatch, lo, hi int) {
+	// The scratch record lives on the core, not the stack: Issue's
+	// receiver-escape would otherwise heap-allocate it every call.
+	rec := &c.batchRec
+	for i := lo; i < hi; i++ {
+		b.Row(i, rec)
+		c.Issue(rec)
+	}
 }

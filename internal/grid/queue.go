@@ -20,13 +20,15 @@ func (e *ErrQueueFull) Error() string {
 		e.Queued, e.Capacity, e.Requested)
 }
 
-// item is one queued cell: a job plus an index into its cell list,
-// ordered by job priority (higher first) then global submission order.
+// item is one schedulable unit: a job plus the indexes of the cells it
+// covers — a single cell, or a whole timing cohort the worker steps in
+// lockstep — ordered by job priority (higher first) then global
+// submission order.
 type item struct {
-	job  *Job
-	cell int
-	pri  int
-	seq  uint64
+	job   *Job
+	cells []int
+	pri   int
+	seq   uint64
 }
 
 type cellHeap []*item
@@ -54,6 +56,7 @@ type queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	heap   cellHeap
+	cells  int // queued cells across all groups (the capacity unit)
 	cap    int
 	seq    uint64
 	closed bool
@@ -65,21 +68,28 @@ func newQueue(capacity int) *queue {
 	return q
 }
 
-// push enqueues the given cells of job atomically: either every cell is
-// accepted or none is (ErrQueueFull).
-func (q *queue) push(job *Job, cells []int) error {
+// push enqueues the given cell groups of job atomically: either every
+// group is accepted or none is (ErrQueueFull). The capacity bound
+// counts cells, not groups, so cohort grouping never inflates how much
+// work the queue admits.
+func (q *queue) push(job *Job, groups [][]int) error {
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return fmt.Errorf("grid: scheduler is shut down")
 	}
-	if len(q.heap)+len(cells) > q.cap {
-		return &ErrQueueFull{Queued: len(q.heap), Capacity: q.cap, Requested: len(cells)}
+	if q.cells+n > q.cap {
+		return &ErrQueueFull{Queued: q.cells, Capacity: q.cap, Requested: n}
 	}
-	for _, c := range cells {
+	for _, g := range groups {
 		q.seq++
-		heap.Push(&q.heap, &item{job: job, cell: c, pri: job.Priority, seq: q.seq})
+		heap.Push(&q.heap, &item{job: job, cells: g, pri: job.Priority, seq: q.seq})
 	}
+	q.cells += n
 	q.cond.Broadcast()
 	return nil
 }
@@ -96,7 +106,9 @@ func (q *queue) pop() (*item, bool) {
 	if q.closed {
 		return nil, false
 	}
-	return heap.Pop(&q.heap).(*item), true
+	it := heap.Pop(&q.heap).(*item)
+	q.cells -= len(it.cells)
+	return it, true
 }
 
 // remove drops every queued cell of job (cancellation) and returns the
@@ -108,7 +120,7 @@ func (q *queue) remove(job *Job) []int {
 	keep := q.heap[:0]
 	for _, it := range q.heap {
 		if it.job == job {
-			dropped = append(dropped, it.cell)
+			dropped = append(dropped, it.cells...)
 		} else {
 			keep = append(keep, it)
 		}
@@ -117,6 +129,7 @@ func (q *queue) remove(job *Job) []int {
 		q.heap[i] = nil
 	}
 	q.heap = keep
+	q.cells -= len(dropped)
 	heap.Init(&q.heap)
 	return dropped
 }
@@ -125,7 +138,7 @@ func (q *queue) remove(job *Job) []int {
 func (q *queue) depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.heap)
+	return q.cells
 }
 
 // close wakes every worker; pop returns false from then on.

@@ -32,12 +32,18 @@ type Options struct {
 	// Execute runs one cell (default sim.ExecuteCell; tests inject a
 	// stub to exercise scheduling without simulating).
 	Execute func(sim.CellRequest, *sim.Tracker) (sim.Result, sim.CellOutcome)
+	// ExecuteGroup runs one schedulable group — a timing cohort of
+	// sibling cells stepped in lockstep, or a single cell. Default
+	// sim.ExecuteCohort; when only Execute is injected, groups fall
+	// back to a per-cell loop over it.
+	ExecuteGroup func([]sim.CellRequest, *sim.Tracker) ([]sim.Result, []sim.CellOutcome)
 }
 
 // Scheduler owns the queue, the worker pool and the job table.
 type Scheduler struct {
-	opts Options
-	q    *queue
+	opts  Options
+	group bool // plan cohort groups (false when only a per-cell Execute stub is injected)
+	q     *queue
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -56,13 +62,34 @@ func New(opts Options) *Scheduler {
 	if opts.QueueCap <= 0 {
 		opts.QueueCap = 4096
 	}
+	// A per-cell Execute stub (tests) keeps per-cell scheduling: cells
+	// queue and cancel one at a time, exactly as before cohorts. The
+	// real executor — or an injected ExecuteGroup — schedules whole
+	// cohorts as units.
+	group := opts.ExecuteGroup != nil || opts.Execute == nil
+	if opts.ExecuteGroup == nil {
+		if opts.Execute != nil {
+			ex := opts.Execute
+			opts.ExecuteGroup = func(reqs []sim.CellRequest, tr *sim.Tracker) ([]sim.Result, []sim.CellOutcome) {
+				results := make([]sim.Result, len(reqs))
+				outs := make([]sim.CellOutcome, len(reqs))
+				for i, r := range reqs {
+					results[i], outs[i] = ex(r, tr)
+				}
+				return results, outs
+			}
+		} else {
+			opts.ExecuteGroup = sim.ExecuteCohort
+		}
+	}
 	if opts.Execute == nil {
 		opts.Execute = sim.ExecuteCell
 	}
 	s := &Scheduler{
-		opts: opts,
-		q:    newQueue(opts.QueueCap),
-		jobs: map[string]*Job{},
+		opts:  opts,
+		group: group,
+		q:     newQueue(opts.QueueCap),
+		jobs:  map[string]*Job{},
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -79,13 +106,49 @@ func (s *Scheduler) worker() {
 			return
 		}
 		job := it.job
-		req, tr, ok := job.startCell(it.cell)
-		if !ok {
-			continue // canceled after queueing; the cell stays pending
+		var (
+			started []int
+			reqs    []sim.CellRequest
+			tr      *sim.Tracker
+		)
+		for _, cell := range it.cells {
+			req, t, ok := job.startCell(cell)
+			if !ok {
+				continue // canceled after queueing; the cell stays pending
+			}
+			started = append(started, cell)
+			reqs = append(reqs, req)
+			tr = t
 		}
-		res, out := s.opts.Execute(req, tr)
-		sim.EmitProgress(job.finishCell(it.cell, res, out))
+		if len(started) == 0 {
+			continue
+		}
+		// A partially-canceled cohort shrinks to its surviving members;
+		// they are still siblings, so lockstep execution stays valid.
+		results, outs := s.opts.ExecuteGroup(reqs, tr)
+		for k, cell := range started {
+			sim.EmitProgress(job.finishCell(cell, results[k], outs[k]))
+		}
 	}
+}
+
+// plan turns cell indexes (nil means all) into queue groups: timing
+// cohorts for the real executor, one cell per group for per-cell stubs.
+func (s *Scheduler) plan(cells []sim.CellRequest, idx []int) [][]int {
+	if s.group {
+		return sim.PlanCohorts(cells, idx)
+	}
+	if idx == nil {
+		idx = make([]int, len(cells))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	groups := make([][]int, len(idx))
+	for k, i := range idx {
+		groups[k] = []int{i}
+	}
+	return groups
 }
 
 // JobRequest is a submission: a grid of full machine configurations
@@ -172,14 +235,13 @@ func (s *Scheduler) submit(name string, pri int, cfgs []sim.Config, specs []work
 	s.order = append(s.order, id)
 	s.mu.Unlock()
 
-	all := make([]int, len(job.cells))
 	job.mu.Lock()
-	for i := range all {
-		all[i] = i
+	for i := range job.cells {
 		job.queued[i] = struct{}{}
 	}
 	job.mu.Unlock()
-	if err := s.q.push(job, all); err != nil {
+	// Adjacent replay-eligible siblings queue as one lockstep cohort.
+	if err := s.q.push(job, s.plan(job.cells, nil)); err != nil {
 		job.mu.Lock()
 		job.queued = map[int]struct{}{}
 		job.closeTrackerLocked()
@@ -289,7 +351,7 @@ func (s *Scheduler) Resume(id string) error {
 	}
 	job.mu.Unlock()
 
-	if err := s.q.push(job, todo); err != nil {
+	if err := s.q.push(job, s.plan(job.cells, todo)); err != nil {
 		job.mu.Lock()
 		job.state = StateCanceled
 		job.queued = map[int]struct{}{}

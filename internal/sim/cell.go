@@ -112,7 +112,7 @@ func simulateCell(req CellRequest, tr *Tracker, out *CellOutcome) Result {
 		if p.FastForward == 0 {
 			master = cachedBuild(spec, p.Scale)
 		}
-		m, err := newReplayMachine(cfg, spec, p, recd, master, out, tr)
+		m, src, err := newReplayMachine(cfg, spec, p, recd, master, out, tr)
 		if err != nil {
 			panic(err)
 		}
@@ -122,6 +122,7 @@ func simulateCell(req CellRequest, tr *Tracker, out *CellOutcome) Result {
 		} else {
 			res = Simulate(m, p)
 		}
+		src.Recycle() // the machine is done; pool the decode scratch
 	case p.FastForward > 0:
 		// Shared-checkpoint path: the workload's fast-forward runs once
 		// (cachedCheckpoint) and every cell resumes from a clone of its

@@ -1,0 +1,409 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/stream"
+	"repro/internal/workloads"
+)
+
+// Timing cohorts: the decode-once half of execute-once, time-many.
+// Replay-eligible sibling cells (same workload window, stream-pure core
+// kinds) are grouped into cohorts that consume shared decoded SoA
+// batches instead of private ReplaySource cursors, stepped in lockstep
+// one chunk at a time so the batch plus the members' hot state stay
+// cache-resident. Results are bit-identical to solo replay (and so to
+// live execution): the batch columns are filled by ReplaySource.Next
+// itself and each member's per-instruction issue order is unchanged —
+// only the K-fold re-decode of the same recording disappears.
+
+// CohortMode selects whether the scheduler groups eligible sibling
+// cells into decode-once timing cohorts.
+type CohortMode int
+
+// Cohort modes (the CLI's -cohort=on|off|auto).
+const (
+	// CohortAuto groups replay-eligible stream-pure siblings into
+	// cohorts; everything else runs solo. Results are bit-identical
+	// either way, so this is the default.
+	CohortAuto CohortMode = iota
+	// CohortOn behaves like CohortAuto (eligibility still applies) but
+	// states the intent explicitly for audited runs.
+	CohortOn
+	// CohortOff disables grouping entirely: every cell runs solo.
+	CohortOff
+)
+
+// String returns the CLI spelling of the mode.
+func (m CohortMode) String() string {
+	switch m {
+	case CohortOn:
+		return "on"
+	case CohortOff:
+		return "off"
+	default:
+		return "auto"
+	}
+}
+
+// ParseCohortMode parses the CLI spelling of a cohort mode.
+func ParseCohortMode(s string) (CohortMode, error) {
+	switch s {
+	case "auto", "":
+		return CohortAuto, nil
+	case "on":
+		return CohortOn, nil
+	case "off":
+		return CohortOff, nil
+	}
+	return CohortAuto, fmt.Errorf("unknown cohort mode %q (want on, off, or auto)", s)
+}
+
+var cohortCtl = struct {
+	sync.Mutex
+	mode CohortMode
+}{}
+
+// SetCohortMode switches the scheduler's cohort policy and returns the
+// previous mode.
+func SetCohortMode(m CohortMode) CohortMode {
+	cohortCtl.Lock()
+	defer cohortCtl.Unlock()
+	prev := cohortCtl.mode
+	cohortCtl.mode = m
+	return prev
+}
+
+// CurrentCohortMode reports the active cohort policy.
+func CurrentCohortMode() CohortMode {
+	cohortCtl.Lock()
+	defer cohortCtl.Unlock()
+	return cohortCtl.mode
+}
+
+// cohortTotals is the process-lifetime cohort accounting (the tracker
+// fields reset per grid; bench and status deltas need cumulative
+// counters, like RecordingStats for streams).
+var cohortTotals struct {
+	sync.Mutex
+	runs  int
+	cells int
+}
+
+// CohortStats reports cumulative lockstep-cohort counts: cohorts run
+// and the cells they produced, process-wide.
+func CohortStats() (runs, cells int) {
+	cohortTotals.Lock()
+	defer cohortTotals.Unlock()
+	return cohortTotals.runs, cohortTotals.cells
+}
+
+// MaxCohortWidth caps how many cells one cohort steps in lockstep: past
+// this, the members' aggregate hot state (caches, TLBs, predictors)
+// stops fitting beside the shared batch and the locality win inverts.
+const MaxCohortWidth = 16
+
+// cohortChunkRows is how many decoded records one SoA chunk holds
+// (~130 KiB of columns): small enough to stay cache-resident under the
+// members' hot state, large enough to amortize the per-chunk store
+// lookup. A variable so the boundary-straddling fuzz test can shrink it.
+var cohortChunkRows = 2048
+
+// decodedStoreCtl gates whether cohort chunks are published to the
+// artifact store's decoded class for cross-cohort reuse. Off by
+// default: a quick grid decodes ~65 B/instr of SoA columns — an order
+// of magnitude over the ~1.9 B/instr encoded recordings — so resident
+// chunks evict the recordings and checkpoints they were derived from
+// and the grid re-records more than it saves (measured: +42 recording
+// passes, +2.4s on the quick bench). Each cohort then decodes into a
+// private reused buffer: still exactly one decode per cohort.
+var decodedStoreCtl = struct {
+	sync.Mutex
+	on bool
+}{}
+
+// SetDecodedStoreEnabled toggles store-backed decoded-chunk sharing
+// across cohorts and returns the previous setting.
+func SetDecodedStoreEnabled(on bool) bool {
+	decodedStoreCtl.Lock()
+	defer decodedStoreCtl.Unlock()
+	prev := decodedStoreCtl.on
+	decodedStoreCtl.on = on
+	return prev
+}
+
+func decodedStoreEnabled() bool {
+	decodedStoreCtl.Lock()
+	defer decodedStoreCtl.Unlock()
+	return decodedStoreCtl.on
+}
+
+// cohortEligible reports whether a cell can join a decode-once cohort:
+// replay-eligible, stream-pure (the batch has no memory image to keep
+// in lockstep), and an unsampled single window (the chunked lockstep
+// walk implements exactly the warmup → reset → measure sequence).
+func cohortEligible(cfg Config, p Params) bool {
+	if CurrentCohortMode() == CohortOff {
+		return false
+	}
+	if !replayEligible(cfg, p) {
+		return false
+	}
+	if StreamNeedsOf(cfg.Core) != StreamPure {
+		return false
+	}
+	return p.SampleEvery == 0
+}
+
+// PlanCohorts groups the given cell indices (nil means all of cells)
+// into schedulable units: runs of cohort-eligible siblings — same
+// workload, identical window — become one group of up to
+// MaxCohortWidth, everything else stays a group of one. Grouping only
+// joins adjacent cells of the workload-major cell order, so scheduling
+// order and peak-memory behavior match the ungrouped plan.
+func PlanCohorts(cells []CellRequest, idx []int) [][]int {
+	if idx == nil {
+		idx = make([]int, len(cells))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	groups := make([][]int, 0, len(idx))
+	var cur []int
+	flush := func() {
+		if len(cur) > 0 {
+			groups = append(groups, cur)
+			cur = nil
+		}
+	}
+	for _, i := range idx {
+		c := cells[i]
+		if !cohortEligible(c.Cfg, c.P) {
+			flush()
+			groups = append(groups, []int{i})
+			continue
+		}
+		if len(cur) > 0 {
+			prev := cells[cur[0]]
+			if prev.Spec.Name != c.Spec.Name || prev.P != c.P || len(cur) >= MaxCohortWidth {
+				flush()
+			}
+		}
+		cur = append(cur, i)
+	}
+	flush()
+	return groups
+}
+
+// ExecuteCohort resolves a group of sibling cells as one unit. Each
+// member resolves through the artifact store with the same hit / joined
+// / produced classification ExecuteCell reports; the members this
+// caller must produce run together in lockstep over shared decoded
+// batches. A single-member group degenerates to ExecuteCell.
+func ExecuteCohort(reqs []CellRequest, tr *Tracker) ([]Result, []CellOutcome) {
+	n := len(reqs)
+	results := make([]Result, n)
+	outs := make([]CellOutcome, n)
+	if n == 1 {
+		results[0], outs[0] = ExecuteCell(reqs[0], tr)
+		return results, outs
+	}
+	start := time.Now()
+
+	// Split-phase store resolution: residents are done, claims are ours
+	// to produce, joins are other workers' in-flight cells we pick up
+	// after our own lockstep run (waiting first could deadlock when two
+	// members share one content key — relabeled identical configs).
+	type member struct {
+		idx int
+		t   *artifact.Ticket
+	}
+	var claims, joins []member
+	for i, req := range reqs {
+		v, oc, t := artifacts.Begin(resultKey(req.Cfg, req.Spec.Name, req.P))
+		switch {
+		case t == nil:
+			results[i] = v.(Result)
+			outs[i].Cached = oc.Hit
+			outs[i].Wall = time.Since(start)
+		case !t.Owner():
+			outs[i].Shared = true
+			joins = append(joins, member{i, t})
+		default:
+			claims = append(claims, member{i, t})
+		}
+	}
+
+	if len(claims) > 0 {
+		idxs := make([]int, len(claims))
+		for k, m := range claims {
+			idxs[k] = m.idx
+		}
+		runStart := time.Now()
+		runCohort(reqs, idxs, results, outs, tr)
+		share := time.Since(runStart) / time.Duration(len(claims))
+		for _, m := range claims {
+			m.t.Commit(results[m.idx], resultBytes(results[m.idx]))
+			outs[m.idx].Wall = share
+		}
+	}
+	for _, m := range joins {
+		results[m.idx] = m.t.Wait().(Result)
+		outs[m.idx].Wall = time.Since(start)
+	}
+	// Stored records may carry another member's or sweep's display label.
+	for i, req := range reqs {
+		results[i].Label = req.Cfg.Label
+	}
+	return results, outs
+}
+
+// runCohort simulates the claimed members in lockstep. All claims share
+// one workload window (PlanCohorts grouped them), so they consume the
+// same recording and the same decoded chunks, and hit their warmup →
+// reset boundary at the same row.
+func runCohort(reqs []CellRequest, claims []int, results []Result, outs []CellOutcome, tr *Tracker) {
+	first := reqs[claims[0]]
+	spec, p := first.Spec, first.P
+	tr.phase(+1, 0)
+
+	rec, so := cachedRecording(spec, first.Cfg, p, tr)
+	machines := make([]Machine, len(claims))
+	steppers := make([]interface {
+		StepBatch(b *stream.DecodedBatch, lo, hi int)
+	}, len(claims))
+	for k, ci := range claims {
+		req := reqs[ci]
+		outs[ci].Replayed = true
+		outs[ci].StreamFromStore = so.FromStore() || k > 0
+		m, err := newCohortMachine(req.Cfg, spec, p, &outs[ci], tr)
+		if err != nil {
+			panic(err)
+		}
+		bs, ok := m.(interface {
+			StepBatch(b *stream.DecodedBatch, lo, hi int)
+		})
+		if !ok {
+			panic(fmt.Sprintf("sim: stream-pure machine kind %d lacks StepBatch", req.Cfg.Core))
+		}
+		machines[k], steppers[k] = m, bs
+	}
+	tr.phase(-1, +1)
+
+	// The lockstep walk implements simulateWindow exactly: each member
+	// issues warmup rows, resets its stats, issues measure rows, and
+	// collects — the chunking (and the split at the warmup boundary)
+	// changes where Step calls end, which is timing-invisible.
+	src := stream.NewReplay(rec)
+	defer src.Recycle()
+	useStore := decodedStoreEnabled()
+	var local stream.DecodedBatch // reused across chunks when the store is bypassed
+	warmup, total := p.Warmup, p.Warmup+p.Measure
+	var consumed uint64
+	resetDone := false
+	maybeReset := func() {
+		if !resetDone && consumed >= warmup {
+			for _, m := range machines {
+				m.ResetStats()
+			}
+			resetDone = true
+		}
+	}
+	maybeReset() // folded-checkpoint windows have warmup 0
+	for chunk := 0; consumed < total; chunk++ {
+		var b *stream.DecodedBatch
+		if useStore {
+			b = cohortChunk(spec, p, src, chunk)
+		} else {
+			local.Fill(src, cohortChunkRows)
+			b = &local
+		}
+		if b.N == 0 {
+			break // recording ended early (program halt)
+		}
+		for lo := 0; lo < b.N; {
+			hi := b.N
+			if !resetDone && consumed+uint64(hi-lo) > warmup {
+				hi = lo + int(warmup-consumed)
+			}
+			for _, s := range steppers {
+				s.StepBatch(b, lo, hi)
+			}
+			consumed += uint64(hi - lo)
+			maybeReset()
+			lo = hi
+		}
+	}
+	if !resetDone {
+		// The stream ended inside warmup; solo replay still resets and
+		// collects an empty window.
+		for _, m := range machines {
+			m.ResetStats()
+		}
+	}
+
+	for k, ci := range claims {
+		res := machines[k].Collect()
+		if p.FastForward > 0 {
+			// Solo cells route through SimulateFrom → mergeRegions even
+			// for a single region; replicate for bit-identity.
+			res = mergeRegions([]Result{res}, p)
+		}
+		results[ci] = res
+	}
+	tr.phase(0, -1)
+	tr.CohortDone(len(claims))
+	cohortTotals.Lock()
+	cohortTotals.runs++
+	cohortTotals.cells += len(claims)
+	cohortTotals.Unlock()
+}
+
+// newCohortMachine builds one stream-pure member positioned at the
+// recording start: newReplayMachine minus the source attachment (the
+// member is stepped over shared batches, never through a source).
+func newCohortMachine(cfg Config, spec workloads.Spec, p Params, out *CellOutcome, tr *Tracker) (Machine, error) {
+	var inst *workloads.Instance
+	var ck *Checkpoint
+	if p.FastForward > 0 {
+		var co artifact.Outcome
+		ck, co = cachedCheckpoint(spec, cfg, p, tr)
+		out.CkptFromStore = co.FromStore()
+		inst = &workloads.Instance{
+			Name: ck.Workload, Prog: ck.prog, Mem: ck.mem, Check: ck.check,
+		}
+	} else {
+		inst = cachedBuild(spec, p.Scale)
+	}
+	m, err := NewMachine(cfg, inst)
+	if err != nil {
+		return nil, err
+	}
+	if ck != nil {
+		m.Restore(ck)
+	}
+	return m, nil
+}
+
+// cohortChunk fetches (or decodes) chunk number chunk of the recording
+// behind src. Chunks live in the artifact store's decoded class, so
+// concurrent cohorts over the same window — and later grids — decode
+// each chunk exactly once while it stays resident. On a store hit the
+// batch's embedded decoder end state repositions src past the chunk, so
+// a hit skips the decode entirely.
+func cohortChunk(spec workloads.Spec, p Params, src *stream.ReplaySource, chunk int) *stream.DecodedBatch {
+	k := decodedKey(spec.Name, p.Scale, p.FastForward, p.Warmup+p.Measure, chunk, cohortChunkRows)
+	v, oc := artifacts.GetOrProduce(k, func() (any, int64) {
+		b := new(stream.DecodedBatch)
+		b.Fill(src, cohortChunkRows)
+		return b, b.Bytes()
+	})
+	b := v.(*stream.DecodedBatch)
+	if oc.FromStore() {
+		src.SetState(b.End)
+	}
+	return b
+}

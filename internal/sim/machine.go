@@ -220,6 +220,15 @@ func newInOrderMachine(cfg Config, inst *workloads.Instance, h *cache.Hierarchy)
 
 func (m *inOrderMachine) Step(n uint64) bool { return m.core.Run(m.src, n) == n }
 
+// StepBatch issues rows [lo, hi) of a shared decoded batch — the cohort
+// driver's lockstep entry point, valid only for stream-pure machines.
+func (m *inOrderMachine) StepBatch(b *stream.DecodedBatch, lo, hi int) {
+	if m.eng != nil {
+		panic("sim: SVR machines are live-only; cannot step a decoded batch")
+	}
+	m.core.RunBatch(b, lo, hi)
+}
+
 func (m *inOrderMachine) SetSource(src stream.InstrSource) {
 	if m.eng != nil {
 		panic("sim: SVR machines are live-only; cannot attach a replay source")
@@ -274,6 +283,10 @@ func newOoOMachine(cfg Config, inst *workloads.Instance, h *cache.Hierarchy) Mac
 }
 
 func (m *oooMachine) Step(n uint64) bool { return m.core.Run(m.src, n) == n }
+
+// StepBatch issues rows [lo, hi) of a shared decoded batch (see the
+// in-order machine's StepBatch).
+func (m *oooMachine) StepBatch(b *stream.DecodedBatch, lo, hi int) { m.core.RunBatch(b, lo, hi) }
 
 func (m *oooMachine) SetSource(src stream.InstrSource) { m.src = src }
 func (m *oooMachine) Instrs() uint64                   { return m.core.Instrs }

@@ -49,7 +49,7 @@ func TestReplayMatchesLive(t *testing.T) {
 			if recd.N != p.Warmup+p.Measure {
 				t.Fatalf("recording has %d records, want %d", recd.N, p.Warmup+p.Measure)
 			}
-			m, err := newReplayMachine(cfg, spec, p, recd, cachedBuild(spec, p.Scale), nil, nil)
+			m, _, err := newReplayMachine(cfg, spec, p, recd, cachedBuild(spec, p.Scale), nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -89,7 +89,7 @@ func TestReplayMatchesLiveCheckpointed(t *testing.T) {
 			live := SimulateFrom(liveM, p)
 
 			recd, _ := cachedRecording(spec, cfg, p, nil)
-			repM, err := newReplayMachine(cfg, spec, p, recd, nil, nil, nil)
+			repM, _, err := newReplayMachine(cfg, spec, p, recd, nil, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}

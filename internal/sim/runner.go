@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/workloads"
 )
 
@@ -68,20 +69,22 @@ func emitProgress(ev CellEvent) {
 // surfaces see concurrent jobs as one grid. All methods are nil-safe —
 // a nil *Tracker simply drops the accounting (tests, one-off cells).
 type Tracker struct {
-	mu        sync.Mutex
-	start     time.Time
-	cells     int
-	done      int
-	cached    int
-	shared    int // of done, joined from another caller's in-flight cell
-	replayed  int // of done, cells fed by a recorded stream
-	building  int // workers constructing a workload image / machine
-	ckpt      int // workers producing a shared fast-forward checkpoint
-	recording int // workers producing a shared stream recording
-	running   int // workers inside Simulate
-	instrs    uint64
-	ckptWall  time.Duration // completed checkpoint-production wall time
-	recWall   time.Duration // completed recording-production wall time
+	mu          sync.Mutex
+	start       time.Time
+	cells       int
+	done        int
+	cached      int
+	shared      int // of done, joined from another caller's in-flight cell
+	replayed    int // of done, cells fed by a recorded stream
+	building    int // workers constructing a workload image / machine
+	ckpt        int // workers producing a shared fast-forward checkpoint
+	recording   int // workers producing a shared stream recording
+	running     int // workers inside Simulate
+	instrs      uint64
+	cohorts     int           // lockstep cohort runs completed
+	cohortCells int           // cells those cohorts produced (occupancy numerator)
+	ckptWall    time.Duration // completed checkpoint-production wall time
+	recWall     time.Duration // completed recording-production wall time
 }
 
 // trackers is the registry of open trackers that CurrentStatus folds
@@ -188,6 +191,17 @@ func (t *Tracker) CellDone(out CellOutcome, instrs uint64) {
 	t.mu.Unlock()
 }
 
+// CohortDone banks one finished lockstep cohort of k produced cells.
+func (t *Tracker) CohortDone(k int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.cohorts++
+	t.cohortCells += k
+	t.mu.Unlock()
+}
+
 // GridStatus is a point-in-time snapshot of the scheduler: one open grid
 // or the aggregate over every concurrently open grid.
 type GridStatus struct {
@@ -202,8 +216,12 @@ type GridStatus struct {
 	Cached        int           // of Done, served resident from the artifact store
 	Shared        int           // of Done, joined from another job's in-flight cell
 	Replayed      int           // of Done, fed by a recorded stream
+	Cohorts       int           // lockstep cohort runs completed
+	CohortCells   int           // cells those cohorts produced (occupancy = CohortCells/Cohorts)
 	Instrs        uint64        // instructions simulated by finished cells
 	StreamBytes   int64         // encoded stream bytes produced so far (process-wide)
+	DecodedHits   int64         // decoded-batch store hits (process-wide)
+	DecodedMade   int64         // decoded batches produced (process-wide)
 	Elapsed       time.Duration // since the earliest open grid started
 	CkptWall      time.Duration // wall time spent producing checkpoints so far
 	RecWall       time.Duration // wall time spent producing recordings so far
@@ -223,6 +241,7 @@ func (t *Tracker) Status() GridStatus {
 		Recording: t.recording, Running: t.running,
 		Done: t.done, Cached: t.cached, Shared: t.shared,
 		Replayed: t.replayed, Instrs: t.instrs,
+		Cohorts: t.cohorts, CohortCells: t.cohortCells,
 		CkptWall: t.ckptWall, RecWall: t.recWall,
 		Elapsed: time.Since(t.start),
 	}
@@ -247,6 +266,8 @@ func CurrentStatus() GridStatus {
 		s.Cached += t.cached
 		s.Shared += t.shared
 		s.Replayed += t.replayed
+		s.Cohorts += t.cohorts
+		s.CohortCells += t.cohortCells
 		s.Building += t.building
 		s.Checkpointing += t.ckpt
 		s.Recording += t.recording
@@ -271,6 +292,8 @@ func CurrentStatus() GridStatus {
 // per-tracker and aggregate snapshots.
 func finishStatus(s *GridStatus) {
 	s.StreamBytes = RecordingStats().Bytes
+	dec := artifacts.Stats()[artifact.Decoded]
+	s.DecodedHits, s.DecodedMade = dec.Hits, dec.Produced
 	s.Queued = s.Cells - s.Done - s.Building - s.Checkpointing - s.Recording - s.Running
 	if s.Queued < 0 {
 		s.Queued = 0
@@ -486,26 +509,33 @@ func RunMatrixLocal(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet 
 		done int
 	)
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for _, c := range cells {
-		c := c
+	for _, group := range PlanCohorts(cells, nil) {
+		group := group
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, out := ExecuteCell(c, tr)
-			mu.Lock()
-			rs.AddCell(res, CellStat{
-				Label: c.Cfg.Label, Workload: c.Spec.Name, Cached: out.Cached,
-				Shared: out.Shared, Replayed: out.Replayed, Wall: out.Wall,
-			})
-			done++
-			ev := CellEvent{Label: c.Cfg.Label, Workload: c.Spec.Name, Cached: out.Cached,
-				Shared: out.Shared, Replayed: out.Replayed,
-				Wall: out.Wall, Instrs: res.Instrs, Done: done, Cells: len(cells)}
-			mu.Unlock()
-			tr.CellDone(out, res.Instrs)
-			emitProgress(ev)
+			reqs := make([]CellRequest, len(group))
+			for k, ci := range group {
+				reqs[k] = cells[ci]
+			}
+			results, outs := ExecuteCohort(reqs, tr)
+			for k, c := range reqs {
+				res, out := results[k], outs[k]
+				mu.Lock()
+				rs.AddCell(res, CellStat{
+					Label: c.Cfg.Label, Workload: c.Spec.Name, Cached: out.Cached,
+					Shared: out.Shared, Replayed: out.Replayed, Wall: out.Wall,
+				})
+				done++
+				ev := CellEvent{Label: c.Cfg.Label, Workload: c.Spec.Name, Cached: out.Cached,
+					Shared: out.Shared, Replayed: out.Replayed,
+					Wall: out.Wall, Instrs: res.Instrs, Done: done, Cells: len(cells)}
+				mu.Unlock()
+				tr.CellDone(out, res.Instrs)
+				emitProgress(ev)
+			}
 		}()
 	}
 	wg.Wait()

@@ -186,10 +186,11 @@ func cachedRecording(spec workloads.Spec, cfg Config, p Params, tr *Tracker) (*s
 // clone that the replay source keeps in lockstep by applying decoded
 // stores, so ahead-of-stream dereferences see exactly the bytes a live
 // run would have shown. out (nil-safe) is annotated with whether the
-// checkpoint came from the store.
+// checkpoint came from the store. The attached source is also returned
+// so the caller can Recycle its decode scratch once the cell finishes.
 func newReplayMachine(cfg Config, spec workloads.Spec, p Params,
 	rec *stream.Recording, master *workloads.Instance,
-	out *CellOutcome, tr *Tracker) (Machine, error) {
+	out *CellOutcome, tr *Tracker) (Machine, *stream.ReplaySource, error) {
 	needs := StreamNeedsOf(cfg.Core)
 	var inst *workloads.Instance
 	var ck *Checkpoint
@@ -213,15 +214,17 @@ func newReplayMachine(cfg Config, spec workloads.Spec, p Params,
 	}
 	m, err := NewMachine(cfg, inst)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if ck != nil {
 		m.Restore(ck)
 	}
+	var src *stream.ReplaySource
 	if needs == StreamMemory {
-		m.SetSource(stream.NewReplayWithMem(rec, inst.Mem))
+		src = stream.NewReplayWithMem(rec, inst.Mem)
 	} else {
-		m.SetSource(stream.NewReplay(rec))
+		src = stream.NewReplay(rec)
 	}
-	return m, nil
+	m.SetSource(src)
+	return m, src, nil
 }

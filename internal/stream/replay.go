@@ -40,15 +40,19 @@ func NewReplay(r *Recording) *ReplaySource { return NewReplayWithMem(r, nil) }
 // NewReplayWithMem returns a source replaying r that applies decoded
 // stores to m. The image must be in the state the recording pass started
 // from (e.g. a fresh clone of the workload image, or a checkpoint
-// restored to the recording's start point).
+// restored to the recording's start point). The source comes from the
+// decode-scratch pool; callers that know the cell is finished hand it
+// back with Recycle.
 func NewReplayWithMem(r *Recording, m *mem.Memory) *ReplaySource {
-	return &ReplaySource{
+	s := replayPool.Get().(*ReplaySource)
+	*s = ReplaySource{
 		rec:   r,
 		code:  r.Prog.Code,
 		mem:   m,
 		seq:   r.StartSeq,
 		expPC: r.StartPC,
 	}
+	return s
 }
 
 // Err returns the first decode error, if any. A nil error with Next
