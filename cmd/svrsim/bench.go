@@ -65,6 +65,14 @@ type BenchReport struct {
 	Cohorts     int     `json:"cohorts,omitempty"`
 	CohortCells int     `json:"cohort_cells,omitempty"`
 	CohortWidth float64 `json:"cohort_width,omitempty"`
+
+	// Phase attribution (populated by -phases): the grid's summed
+	// per-cell wall time decomposed by execution phase, and how much of
+	// the measured cell wall the attribution covers (should be ~1.0; the
+	// remainder is hook/bookkeeping time no phase claimed).
+	PhaseSeconds    map[string]float64 `json:"phase_seconds,omitempty"`
+	CellWallSeconds float64            `json:"cell_wall_seconds,omitempty"`
+	PhaseCoverage   float64            `json:"phase_coverage,omitempty"`
 }
 
 // cmdBench runs every experiment cold (run cache disabled, so each cell
@@ -79,6 +87,7 @@ func cmdBench(w io.Writer, args []string) error {
 	cpuF := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memF := fs.String("memprofile", "", "write an allocation profile to this file")
 	fullF := fs.Bool("full", false, "paper-scale inputs instead of quick scale")
+	phasesF := fs.Bool("phases", false, "report per-phase wall-time attribution of the grid")
 	g := addGridFlags(fs, "off")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,12 +122,16 @@ func cmdBench(w io.Writer, args []string) error {
 
 	var cells, replayCells int
 	var instrs uint64
+	var phaseWall sim.PhaseTimes
+	var cellWall time.Duration
 	sim.SetProgressHook(func(ev sim.CellEvent) {
 		cells++
 		instrs += ev.Instrs
 		if ev.Replayed {
 			replayCells++
 		}
+		phaseWall.AddAll(ev.Phases)
+		cellWall += ev.Wall
 	})
 	defer sim.SetProgressHook(nil)
 	rec0 := sim.RecordingStats()
@@ -208,6 +221,13 @@ func cmdBench(w io.Writer, args []string) error {
 	if cells > 0 {
 		rep.MSPerCell = wall.Seconds() * 1e3 / float64(cells)
 	}
+	if *phasesF {
+		rep.PhaseSeconds = phaseWall.Seconds()
+		rep.CellWallSeconds = cellWall.Seconds()
+		if cellWall > 0 {
+			rep.PhaseCoverage = phaseWall.Total().Seconds() / cellWall.Seconds()
+		}
+	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -231,6 +251,10 @@ func cmdBench(w io.Writer, args []string) error {
 		}
 	}
 
+	if *phasesF {
+		printPhaseTable(w, phaseWall, cellWall)
+	}
+
 	if *baseF != "" {
 		basePath := resolveBaseline(*baseF)
 		if err := printBenchDelta(w, basePath, rep); err != nil {
@@ -240,6 +264,25 @@ func cmdBench(w io.Writer, args []string) error {
 		}
 	}
 	return nil
+}
+
+// printPhaseTable renders the automated "where grid time goes" breakdown:
+// each phase's share of the grid's summed per-cell wall time, plus the
+// attribution coverage (how much of the measured wall any phase claimed).
+func printPhaseTable(w io.Writer, phases sim.PhaseTimes, cellWall time.Duration) {
+	fmt.Fprintf(w, "phase attribution (%.1fs cell wall across the grid):\n", cellWall.Seconds())
+	for _, p := range sim.AllPhases() {
+		d := phases[p]
+		pct := 0.0
+		if cellWall > 0 {
+			pct = 100 * d.Seconds() / cellWall.Seconds()
+		}
+		fmt.Fprintf(w, "  %-13s %8.2fs  %5.1f%%\n", p, d.Seconds(), pct)
+	}
+	if cellWall > 0 {
+		fmt.Fprintf(w, "  %-13s %8.2fs  %5.1f%% of wall attributed\n",
+			"total", phases.Total().Seconds(), 100*phases.Total().Seconds()/cellWall.Seconds())
+	}
 }
 
 // resolveBaseline falls back to the legacy baseline name when the caller

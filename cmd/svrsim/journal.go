@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/grid"
+)
+
+// cmdJournal validates a lifecycle journal (JSONL, as written by
+// `svrsim all -journal F` or `svrsim serve -journal F`) against the
+// event schema and summarizes it; -trace additionally renders the
+// journal as a Chrome/Perfetto timeline of the scheduler run. CI runs
+// the validation over the serve-smoke journal so the documented schema
+// stays honest.
+func cmdJournal(w io.Writer, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("journal: missing journal file")
+	}
+	path := args[0]
+	fs := flag.NewFlagSet("journal", flag.ContinueOnError)
+	traceF := fs.String("trace", "", "render the journal as a Chrome/Perfetto grid trace at this path")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sum, err := grid.ValidateJournal(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "journal: %d events, schema OK\n", sum.Lines)
+	names := make([]string, 0, len(sum.Events))
+	for n := range sum.Events {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-18s %d\n", n, sum.Events[n])
+	}
+
+	if *traceF == "" {
+		return nil
+	}
+	events, err := readJournal(f)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(*traceF)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := grid.WriteTrace(out, events); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "grid trace written to %s (open at ui.perfetto.dev)\n", *traceF)
+	return nil
+}
+
+// readJournal re-reads a validated journal file into events.
+func readJournal(f *os.File) ([]grid.JournalEvent, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	var events []grid.JournalEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev grid.JournalEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	return events, sc.Err()
+}

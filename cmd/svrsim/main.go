@@ -24,6 +24,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu/inorder"
 	"repro/internal/emu"
+	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -77,6 +78,8 @@ func dispatch(w io.Writer, cmd string, args []string) error {
 		return cmdCompare(w, args)
 	case "bench":
 		return cmdBench(w, args)
+	case "journal":
+		return cmdJournal(w, args)
 	case "serve":
 		return cmdServe(w, args)
 	case "version", "-v", "--version":
@@ -101,6 +104,7 @@ func usage() {
   svrsim timeline <workload> [fl.] export a traced window as a Perfetto timeline
   svrsim compare <workload>        one workload on every machine, side by side
   svrsim bench [flags]             time the simulator itself on the cold grid
+  svrsim journal <file> [flags]    validate a lifecycle journal, render its grid trace
   svrsim serve [flags]             multi-tenant grid service over HTTP/JSON
   svrsim version                   module version and build metadata
   svrsim help                      this text
@@ -126,13 +130,20 @@ run/all flags:
   -timeseries F      sample every cell's counters into a per-interval CSV at F
   -sample N          sampling interval in instructions (default 100000)
   -status ADDR       serve live scheduler status on ADDR (/status, expvar, pprof)
+  -journal F         stream the scheduler lifecycle journal (JSONL) to F
+  -gridtrace F       export the whole run as a Chrome/Perfetto trace of the
+                     scheduler itself (workers, cells, phases, artifact flows)
 
 timeline flags:
   -o F               output path, - for stdout (default trace.json)
   -format F          chrome (Perfetto-loadable JSON) or jsonl
   -skip / -window    position the traced window; -n sets SVR vector length
 
+journal flags:
+  -trace F           also render the journal as a Chrome/Perfetto grid trace at F
+
 bench flags:
+  -phases            report per-phase wall-time attribution (where grid time goes)
   -out F             bench report JSON path (default BENCH_BASELINE.json)
   -baseline F        diff against a previous bench JSON (default BENCH_BASELINE.json,
                      falling back to the legacy BENCH_PR3.json; informational)
@@ -155,11 +166,13 @@ serve flags:
   -queue N           max queued cells across all jobs (default 4096)
   -state F           queue-state file restored on start, persisted on
                      SIGINT/SIGTERM shutdown (default svrsim-state.json)
+  -journal F         stream the scheduler lifecycle journal (JSONL) to F
 serve endpoints:
   POST /api/jobs               submit a grid ({"Configs":["svr16",...],
                                "Workloads":[...], "Preset":"quick", "Priority":N})
   GET  /api/jobs[/{id}]        list jobs / poll one job
   GET  /api/jobs/{id}/results  stream per-cell results (NDJSON; ?format=sse for SSE)
+  GET  /api/jobs/{id}/trace    Chrome/Perfetto trace of the job's scheduling
   POST /api/jobs/{id}/cancel   drop queued cells (running cells finish)
   POST /api/jobs/{id}/resume   re-enqueue a canceled job's remainder
   GET  /api/status             scheduler + queue + jobs + artifact store JSON
@@ -177,6 +190,8 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 	tsF := fs.String("timeseries", "", "write per-interval counter samples of every cell to this CSV")
 	sampleF := fs.Uint64("sample", 100_000, "sampling interval in instructions (with -timeseries)")
 	statusF := fs.String("status", "", "serve live scheduler status on this address (e.g. :6060)")
+	journalF := fs.String("journal", "", "stream the scheduler lifecycle journal (JSONL) to this file")
+	gridtraceF := fs.String("gridtrace", "", "write a Chrome/Perfetto trace of the scheduler run to this file")
 	if err := fs.Parse(args); err != nil {
 		return sim.ExpParams{}, nil, err
 	}
@@ -193,6 +208,8 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 	coldMode = *coldF
 	timeseriesPath = *tsF
 	statusAddr = *statusF
+	journalPath = *journalF
+	gridtracePath = *gridtraceF
 	if timeseriesPath != "" {
 		p.SampleEvery = *sampleF
 	}
@@ -205,7 +222,7 @@ func expFlags(args []string) (sim.ExpParams, []string, error) {
 // statusAddr serves the live scheduler status; replayMode selects the
 // instruction-stream policy (all set by expFlags).
 var csvMode, jsonMode, metricsMode, coldMode bool
-var timeseriesPath, statusAddr string
+var timeseriesPath, statusAddr, journalPath, gridtracePath string
 var replayMode sim.ReplayMode
 var cohortMode sim.CohortMode
 
@@ -320,6 +337,7 @@ func applyRunFlags(curExp *string) func() {
 	prevSeries := sim.SetCellSeries(timeseriesPath != "")
 	sim.SetProgressHook(progressPrinter(curExp))
 	stopTicker := startProgressTicker(curExp)
+	stopJournal := startRunJournal()
 	stopStatus := func() {}
 	if statusAddr != "" {
 		bound, shutdown, err := startStatusServer(statusAddr)
@@ -339,6 +357,7 @@ func applyRunFlags(curExp *string) func() {
 	}
 	return func() {
 		stopStatus()
+		stopJournal()
 		stopTicker()
 		sim.SetProgressHook(nil)
 		sim.SetCellSeries(prevSeries)
@@ -347,6 +366,56 @@ func applyRunFlags(curExp *string) func() {
 		sim.SetReplayMode(prevReplay)
 		if coldMode {
 			sim.SetRunCacheEnabled(prevCache)
+		}
+	}
+}
+
+// startRunJournal installs the scheduler lifecycle journal for -journal
+// and -gridtrace: streaming JSONL to the journal file, capturing events
+// in memory when a trace will be rendered. The returned stop uninstalls
+// the journal, writes the trace, and flushes everything. With neither
+// flag set it installs nothing — the observability-off default, whose
+// stdout is byte-identical to a run without these flags.
+func startRunJournal() func() {
+	if journalPath == "" && gridtracePath == "" {
+		return func() {}
+	}
+	cfg := grid.JournalConfig{}
+	if gridtracePath != "" {
+		cfg.Capture = -1 // the trace needs the whole stream
+	}
+	var jf *os.File
+	if journalPath != "" {
+		f, err := os.Create(journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svrsim: journal: %v\n", err)
+		} else {
+			jf = f
+			cfg.Writer = f
+		}
+	}
+	if cfg.Writer == nil && cfg.Capture == 0 {
+		return func() {} // journal file failed and no trace wanted
+	}
+	jn := grid.NewJournal(cfg)
+	grid.SetJournal(jn)
+	return func() {
+		grid.SetJournal(nil)
+		if gridtracePath != "" {
+			if f, err := os.Create(gridtracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "svrsim: gridtrace: %v\n", err)
+			} else {
+				if err := grid.WriteTrace(f, jn.Events()); err != nil {
+					fmt.Fprintf(os.Stderr, "svrsim: gridtrace: %v\n", err)
+				}
+				f.Close()
+			}
+		}
+		if err := jn.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "svrsim: journal: %v\n", err)
+		}
+		if jf != nil {
+			jf.Close()
 		}
 	}
 }

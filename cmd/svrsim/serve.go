@@ -13,6 +13,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -65,12 +66,38 @@ func cmdServe(w io.Writer, args []string) error {
 	workers := fs.Int("workers", 0, "cell worker pool size (default GOMAXPROCS)")
 	queueCap := fs.Int("queue", 0, "max queued cells across all jobs (default 4096)")
 	stateF := fs.String("state", defaultStateFile, "queue-state file: restored on start, persisted on shutdown (empty disables)")
+	journalF := fs.String("journal", "", "stream the scheduler lifecycle journal (JSONL) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	schedOpts.Workers = *workers
 	schedOpts.QueueCap = *queueCap
 	s := scheduler()
+
+	// The server always captures the journal in memory (a bounded ring)
+	// so GET /api/jobs/{id}/trace can render any recent job; -journal
+	// additionally streams the full event stream to disk.
+	jcfg := grid.JournalConfig{Capture: serveJournalRing}
+	var jf *os.File
+	if *journalF != "" {
+		f, err := os.Create(*journalF)
+		if err != nil {
+			return err
+		}
+		jf = f
+		jcfg.Writer = f
+	}
+	jn := grid.NewJournal(jcfg)
+	grid.SetJournal(jn)
+	defer func() {
+		grid.SetJournal(nil)
+		if err := jn.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "svrsim: journal: %v\n", err)
+		}
+		if jf != nil {
+			jf.Close()
+		}
+	}()
 
 	if *stateF != "" {
 		n, err := s.LoadState(*stateF)
@@ -81,23 +108,7 @@ func cmdServe(w io.Writer, args []string) error {
 		}
 	}
 
-	// The artifact store's hit/miss/evict counters live in a metrics
-	// registry, served in Prometheus text format on /metrics.
-	reg := metrics.New()
-	sim.Artifacts().Register(reg, "artifact")
-
-	mux := http.NewServeMux()
-	mux.Handle("/api/", s.Handler())
-	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
-		writeStatusJSON(w)
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		reg.Snapshot().WritePrometheus(w)
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux := newServeMux(s)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -141,6 +152,40 @@ func cmdServe(w io.Writer, args []string) error {
 	}
 	fmt.Fprintln(w, "svrsim: shutdown complete")
 	return nil
+}
+
+// serveJournalRing bounds the in-memory journal capture backing the
+// GET /api/jobs/{id}/trace endpoint: enough for the recent jobs' full
+// event streams without growing with server uptime.
+const serveJournalRing = 1 << 16
+
+// newServeMux assembles `svrsim serve`'s routes on a private ServeMux —
+// never the process-global http.DefaultServeMux — so a serve mux and a
+// -status mux (startStatusServer) can coexist in one process without
+// double-registering each other's patterns. The debug surfaces are
+// per-mux too, via addDebugRoutes.
+func newServeMux(s *grid.Scheduler) *http.ServeMux {
+	// The artifact store's hit/miss/evict counters live in a metrics
+	// registry, served in Prometheus text format on /metrics alongside
+	// the scheduler's queue-wait and per-phase latency histograms.
+	reg := metrics.New()
+	sim.Artifacts().Register(reg, "artifact")
+
+	mux := http.NewServeMux()
+	mux.Handle("/api/", s.Handler())
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		writeStatusJSON(w)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.Snapshot().WritePrometheus(w)
+		s.MetricsSnapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	addDebugRoutes(mux)
+	return mux
 }
 
 // cmdVersion prints the module version and build metadata.

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestServeAndStatusMuxesCoexist: `svrsim serve` and the run-mode
+// -status server build private ServeMuxes, so both can live in one
+// process — registering the debug surfaces twice on the global
+// http.DefaultServeMux would panic with a duplicate-pattern error.
+func TestServeAndStatusMuxesCoexist(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("building both muxes panicked: %v", r)
+		}
+	}()
+
+	serveSrv := httptest.NewServer(newServeMux(scheduler()))
+	defer serveSrv.Close()
+
+	statusAddr, stopStatus, err := startStatusServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopStatus()
+
+	get := func(url string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// Both servers answer their shared observability routes.
+	for _, base := range []string{serveSrv.URL, "http://" + statusAddr} {
+		if code, body := get(base + "/status"); code != http.StatusOK ||
+			!strings.Contains(body, "Scheduler") {
+			t.Errorf("GET %s/status = %d\n%s", base, code, body)
+		}
+		if code, body := get(base + "/debug/vars"); code != http.StatusOK ||
+			!strings.Contains(body, "scheduler") {
+			t.Errorf("GET %s/debug/vars = %d", base, code)
+		}
+	}
+
+	// The serve-only routes stay off the -status server.
+	if code, body := get(serveSrv.URL + "/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "svrsim_grid_queue_wait_us") {
+		t.Errorf("GET serve /metrics = %d\n%s", code, body)
+	}
+	if code, _ := get(serveSrv.URL + "/healthz"); code != http.StatusOK {
+		t.Errorf("GET serve /healthz = %d", code)
+	}
+	if code, _ := get("http://" + statusAddr + "/healthz"); code == http.StatusOK {
+		t.Error("-status server serves /healthz; serve-only routes leaked onto it")
+	}
+}

@@ -50,14 +50,29 @@ func writeStatusJSON(w http.ResponseWriter) {
 	enc.Encode(currentSnapshot())
 }
 
+// addDebugRoutes registers the expvar and pprof surfaces on mux. Both
+// the -status server and `svrsim serve` call this on their own private
+// muxes: the stdlib's expvar/pprof init() registrations target only
+// http.DefaultServeMux, so per-mux registration here is what lets both
+// servers run in one process without pattern collisions (the expvar
+// "scheduler" var itself is process-global and Once-guarded).
+func addDebugRoutes(mux *http.ServeMux) {
+	statusVars.Do(func() {
+		expvar.Publish("scheduler", expvar.Func(func() any { return currentSnapshot() }))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // startStatusServer serves /status (JSON scheduler snapshot),
 // /debug/vars (expvar) and /debug/pprof on addr. It returns the bound
 // address (resolving a ":0" port) and a shutdown that gracefully drains
 // in-flight requests.
 func startStatusServer(addr string) (bound string, shutdown func(), err error) {
-	statusVars.Do(func() {
-		expvar.Publish("scheduler", expvar.Func(func() any { return currentSnapshot() }))
-	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
@@ -66,12 +81,7 @@ func startStatusServer(addr string) (bound string, shutdown func(), err error) {
 	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
 		writeStatusJSON(w)
 	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	addDebugRoutes(mux)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return ln.Addr().String(), func() {

@@ -11,6 +11,7 @@ package artifact
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -54,13 +55,14 @@ func (o Outcome) FromStore() bool { return o.Hit || o.Waited }
 
 // ClassStats is a point-in-time accounting snapshot of one class.
 type ClassStats struct {
-	Hits      int64 // lookups served resident
-	Misses    int64 // lookups that found nothing resident
-	Waited    int64 // of Misses, satisfied by joining an in-flight production
-	Produced  int64 // values computed and inserted
-	Evictions int64 // entries dropped by the byte budget
-	Entries   int   // resident entries now
-	Bytes     int64 // resident bytes now
+	Hits        int64 // lookups served resident
+	Misses      int64 // lookups that found nothing resident
+	Waited      int64 // of Misses, satisfied by joining an in-flight production
+	WaitedNanos int64 // cumulative wall time spent in those joins (singleflight convoying)
+	Produced    int64 // values computed and inserted
+	Evictions   int64 // entries dropped by the byte budget
+	Entries     int   // resident entries now
+	Bytes       int64 // resident bytes now
 }
 
 // Stats maps each class to its counters.
@@ -73,6 +75,7 @@ func (s Stats) Total() ClassStats {
 		t.Hits += cs.Hits
 		t.Misses += cs.Misses
 		t.Waited += cs.Waited
+		t.WaitedNanos += cs.WaitedNanos
 		t.Produced += cs.Produced
 		t.Evictions += cs.Evictions
 		t.Entries += cs.Entries
@@ -93,6 +96,7 @@ type call struct {
 
 type classCounters struct {
 	hits, misses, waited, produced, evictions int64
+	waitNanos                                 int64 // cumulative join-wait wall time
 	entries                                   int
 	bytes                                     int64
 	disabled                                  bool
@@ -103,13 +107,36 @@ type classCounters struct {
 // a production may itself fetch other artifacts (a cell result fetches
 // its checkpoint, which fetches its image).
 type Store struct {
-	mu      sync.Mutex
-	limit   int64
-	bytes   int64
-	entries map[Key]*entry
-	order   []Key // LRU order, least recently used first
-	flight  map[Key]*call
-	classes map[Class]*classCounters
+	mu        sync.Mutex
+	limit     int64
+	bytes     int64
+	entries   map[Key]*entry
+	order     []Key // LRU order, least recently used first
+	flight    map[Key]*call
+	classes   map[Class]*classCounters
+	evictHook func(EvictEvent)
+}
+
+// EvictEvent describes one entry dropped by the byte budget.
+type EvictEvent struct {
+	Key   Key
+	Bytes int64
+}
+
+// SetEvictHook installs fn to observe evictions (nil disables). The hook
+// runs with the store lock held, so it must return quickly and must not
+// call back into the store.
+func (s *Store) SetEvictHook(fn func(EvictEvent)) {
+	s.mu.Lock()
+	s.evictHook = fn
+	s.mu.Unlock()
+}
+
+// addWait banks join-wait wall time against a class.
+func (s *Store) addWait(c Class, d time.Duration) {
+	s.mu.Lock()
+	s.class(c).waitNanos += d.Nanoseconds()
+	s.mu.Unlock()
 }
 
 // New returns an empty store evicting past limit bytes. The most
@@ -196,6 +223,12 @@ func (s *Store) insert(k Key, v any, bytes int64) {
 	cc := s.class(k.Class)
 	cc.bytes += bytes
 	cc.entries++
+	s.evictPastLimitLocked()
+}
+
+// evictPastLimitLocked drops LRU entries until the budget is met,
+// notifying the evict hook. Caller holds s.mu.
+func (s *Store) evictPastLimitLocked() {
 	for s.bytes > s.limit && len(s.order) > 1 {
 		victim := s.order[0]
 		s.order = s.order[1:]
@@ -206,6 +239,9 @@ func (s *Store) insert(k Key, v any, bytes int64) {
 		vc.bytes -= e.bytes
 		vc.entries--
 		vc.evictions++
+		if s.evictHook != nil {
+			s.evictHook(EvictEvent{Key: victim, Bytes: e.bytes})
+		}
 	}
 }
 
@@ -238,7 +274,9 @@ func (s *Store) GetOrProduce(k Key, produce func() (v any, bytes int64)) (any, O
 	if c, ok := s.flight[k]; ok {
 		cc.waited++
 		s.mu.Unlock()
+		t0 := time.Now()
 		<-c.done
+		s.addWait(k.Class, time.Since(t0))
 		return c.v, Outcome{Waited: true}
 	}
 	c := &call{done: make(chan struct{})}
@@ -285,7 +323,9 @@ func (t *Ticket) Owner() bool { return t.owner }
 // Wait blocks until the owning caller commits, then returns the value.
 // Only valid on non-owner tickets.
 func (t *Ticket) Wait() any {
+	t0 := time.Now()
 	<-t.c.done
+	t.s.addWait(t.k.Class, time.Since(t0))
 	return t.c.v
 }
 
@@ -421,17 +461,7 @@ func (s *Store) SetLimit(limit int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.limit = limit
-	for s.bytes > s.limit && len(s.order) > 1 {
-		victim := s.order[0]
-		s.order = s.order[1:]
-		e := s.entries[victim]
-		delete(s.entries, victim)
-		s.bytes -= e.bytes
-		vc := s.class(victim.Class)
-		vc.bytes -= e.bytes
-		vc.entries--
-		vc.evictions++
-	}
+	s.evictPastLimitLocked()
 }
 
 // Limit returns the current byte budget.
@@ -456,7 +486,8 @@ func (s *Store) Stats() Stats {
 	for c, cc := range s.classes {
 		out[c] = ClassStats{
 			Hits: cc.hits, Misses: cc.misses, Waited: cc.waited,
-			Produced: cc.produced, Evictions: cc.evictions,
+			WaitedNanos: cc.waitNanos,
+			Produced:    cc.produced, Evictions: cc.evictions,
 			Entries: cc.entries, Bytes: cc.bytes,
 		}
 	}
@@ -477,6 +508,7 @@ func (s *Store) Register(reg *metrics.Registry, prefix string) {
 		reg.GaugeFunc(prefix+"."+string(c)+".hits", "artifact store hits", stat(func(cs ClassStats) int64 { return cs.Hits }))
 		reg.GaugeFunc(prefix+"."+string(c)+".misses", "artifact store misses", stat(func(cs ClassStats) int64 { return cs.Misses }))
 		reg.GaugeFunc(prefix+"."+string(c)+".waited", "misses satisfied by joining an in-flight production", stat(func(cs ClassStats) int64 { return cs.Waited }))
+		reg.GaugeFunc(prefix+"."+string(c)+".waited_ns", "cumulative wall time spent joining in-flight productions", stat(func(cs ClassStats) int64 { return cs.WaitedNanos }))
 		reg.GaugeFunc(prefix+"."+string(c)+".produced", "artifacts produced", stat(func(cs ClassStats) int64 { return cs.Produced }))
 		reg.GaugeFunc(prefix+"."+string(c)+".evictions", "entries evicted by the byte budget", stat(func(cs ClassStats) int64 { return cs.Evictions }))
 		reg.GaugeFunc(prefix+"."+string(c)+".bytes", "resident bytes", stat(func(cs ClassStats) int64 { return cs.Bytes }))

@@ -113,6 +113,7 @@ func (s *Scheduler) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, j.Status())
 	})
 	mux.HandleFunc("GET /api/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /api/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /api/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		if err := s.Cancel(r.PathValue("id")); err != nil {
 			httpError(w, http.StatusConflict, err)
@@ -164,6 +165,25 @@ func (s *Scheduler) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// handleTrace renders the installed journal's capture of one job as a
+// Chrome/Perfetto trace (open it at ui.perfetto.dev). 404s when the job
+// is unknown; 409s when no capturing journal is installed (serve always
+// installs one).
+func (s *Scheduler) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Job(id); !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	jn := ActiveJournal()
+	if jn == nil || !jn.Captures() {
+		httpError(w, http.StatusConflict, fmt.Errorf("no capturing journal installed"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	WriteTrace(w, JobEvents(jn.Events(), id))
 }
 
 // handleResults streams the job's cells in completion order and returns

@@ -55,6 +55,9 @@ type JobStatus struct {
 	StreamFromStore int // cells whose recording came from the store
 	SubmittedAt     time.Time
 	WallNS          int64 `json:",omitempty"` // total wall time, once done
+	// PhaseWall decomposes the finished cells' summed wall time by phase
+	// (JSON: {"build": ns, ...}) — where this job's grid time went.
+	PhaseWall sim.PhaseTimes
 }
 
 // Job is one submitted grid: (configs × workloads) cells flowing through
@@ -78,6 +81,7 @@ type Job struct {
 	running       map[int]struct{} // cell index → executing
 	pending       map[int]struct{} // cell index → not finished (queued ∪ running ∪ dropped)
 	results       []CellResult     // finished cells in completion order
+	phaseWall     sim.PhaseTimes   // finished cells' wall time by phase
 	rs            *sim.ResultSet
 	submitted     time.Time
 	finished      time.Time
@@ -165,6 +169,7 @@ func (j *Job) finishCell(i int, res sim.Result, out sim.CellOutcome) (ev sim.Cel
 		Label: c.Cfg.Label, Workload: c.Spec.Name, Cached: out.Cached,
 		Shared: out.Shared, Replayed: out.Replayed, Wall: out.Wall,
 	})
+	j.phaseWall.AddAll(out.Phases)
 	j.tracker.CellDone(out, res.Instrs)
 	if len(j.pending) == 0 && j.state != StateCanceled {
 		j.state = StateDone
@@ -172,6 +177,8 @@ func (j *Job) finishCell(i int, res sim.Result, out sim.CellOutcome) (ev sim.Cel
 		j.rs.Stats.Wall = j.finished.Sub(j.submitted)
 		j.rs.Finish()
 		terminal = true
+		journalEmit(JournalEvent{Ev: EvJobDone, Job: j.ID,
+			DurNS: j.rs.Stats.Wall.Nanoseconds()})
 	}
 	if j.state == StateCanceled && len(j.running) == 0 {
 		terminal = true
@@ -183,7 +190,7 @@ func (j *Job) finishCell(i int, res sim.Result, out sim.CellOutcome) (ev sim.Cel
 	return sim.CellEvent{
 		Label: c.Cfg.Label, Workload: c.Spec.Name,
 		Cached: out.Cached, Shared: out.Shared, Replayed: out.Replayed,
-		Wall: out.Wall, Instrs: res.Instrs,
+		Wall: out.Wall, Instrs: res.Instrs, Phases: out.Phases,
 		Done: len(j.results), Cells: len(j.cells),
 	}
 }
@@ -205,7 +212,7 @@ func (j *Job) Status() JobStatus {
 		ID: j.ID, Name: j.Name, Priority: j.Priority, State: j.state,
 		Cells: len(j.cells), Done: len(j.results),
 		Queued: len(j.queued), Running: len(j.running),
-		SubmittedAt: j.submitted,
+		SubmittedAt: j.submitted, PhaseWall: j.phaseWall,
 	}
 	for _, r := range j.results {
 		if r.Cached {

@@ -1,0 +1,63 @@
+package grid
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// schedMetrics publishes the scheduler's own latency distributions —
+// queue wait and per-phase cell time — through the shared metrics
+// registry machinery, mutex-wrapped because the registry itself is
+// single-owner and the worker pool is not.
+type schedMetrics struct {
+	mu        sync.Mutex
+	reg       *metrics.Registry
+	queueWait *metrics.Histogram
+	phase     [sim.NumPhases]*metrics.Histogram
+}
+
+func newSchedMetrics() *schedMetrics {
+	m := &schedMetrics{reg: metrics.New()}
+	m.queueWait = m.reg.NewHistogram("grid.queue_wait_us",
+		"Microseconds a cell waited in the scheduler queue before a worker picked it up")
+	for _, p := range sim.AllPhases() {
+		m.phase[p] = m.reg.NewHistogram("grid.phase."+p.String()+"_us",
+			"Microseconds finished cells spent in the "+p.String()+" phase")
+	}
+	return m
+}
+
+// observeQueueWait records one cell's time from enqueue to worker pickup.
+func (m *schedMetrics) observeQueueWait(d time.Duration) {
+	m.mu.Lock()
+	m.queueWait.Observe(d.Microseconds())
+	m.mu.Unlock()
+}
+
+// observeCell records a finished cell's per-phase durations. Phases the
+// cell never entered are not observed, so each histogram's count is
+// "cells that spent time there".
+func (m *schedMetrics) observeCell(ph sim.PhaseTimes) {
+	m.mu.Lock()
+	for p, d := range ph {
+		if d > 0 {
+			m.phase[p].Observe(d.Microseconds())
+		}
+	}
+	m.mu.Unlock()
+}
+
+func (m *schedMetrics) snapshot() metrics.Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.Snapshot()
+}
+
+// MetricsSnapshot captures the scheduler's queue-wait and per-phase
+// latency histograms (exported to Prometheus by `svrsim serve`).
+func (s *Scheduler) MetricsSnapshot() metrics.Snapshot {
+	return s.obs.snapshot()
+}

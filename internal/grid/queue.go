@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrQueueFull is the typed backpressure error Submit returns when a
@@ -29,6 +30,7 @@ type item struct {
 	cells []int
 	pri   int
 	seq   uint64
+	at    time.Time // enqueue time, for queue-wait attribution
 }
 
 type cellHeap []*item
@@ -85,9 +87,10 @@ func (q *queue) push(job *Job, groups [][]int) error {
 	if q.cells+n > q.cap {
 		return &ErrQueueFull{Queued: q.cells, Capacity: q.cap, Requested: n}
 	}
+	now := time.Now()
 	for _, g := range groups {
 		q.seq++
-		heap.Push(&q.heap, &item{job: job, cells: g, pri: job.Priority, seq: q.seq})
+		heap.Push(&q.heap, &item{job: job, cells: g, pri: job.Priority, seq: q.seq, at: now})
 	}
 	q.cells += n
 	q.cond.Broadcast()

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -44,6 +45,8 @@ type Scheduler struct {
 	opts  Options
 	group bool // plan cohort groups (false when only a per-cell Execute stub is injected)
 	q     *queue
+
+	obs *schedMetrics // queue-wait and per-phase latency histograms
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -90,15 +93,16 @@ func New(opts Options) *Scheduler {
 		group: group,
 		q:     newQueue(opts.QueueCap),
 		jobs:  map[string]*Job{},
+		obs:   newSchedMetrics(),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(i + 1) // 1-based worker ids; 0 is the scheduler track
 	}
 	return s
 }
 
-func (s *Scheduler) worker() {
+func (s *Scheduler) worker(id int) {
 	defer s.wg.Done()
 	for {
 		it, ok := s.q.pop()
@@ -106,6 +110,7 @@ func (s *Scheduler) worker() {
 			return
 		}
 		job := it.job
+		wait := time.Since(it.at)
 		var (
 			started []int
 			reqs    []sim.CellRequest
@@ -119,17 +124,53 @@ func (s *Scheduler) worker() {
 			started = append(started, cell)
 			reqs = append(reqs, req)
 			tr = t
+			s.obs.observeQueueWait(wait)
+			if journalActive() {
+				journalEmit(JournalEvent{Ev: EvCellStart, Job: job.ID,
+					Cell: cellName(req.Cfg.Label, req.Spec.Name), Seq: cell,
+					Worker: id, DurNS: wait.Nanoseconds()})
+			}
 		}
 		if len(started) == 0 {
 			continue
 		}
+		cohort := len(started) > 1
+		if cohort && journalActive() {
+			journalEmit(JournalEvent{Ev: EvCohortStart, Job: job.ID,
+				Worker: id, N: int64(len(started))})
+		}
+		t0 := time.Now()
 		// A partially-canceled cohort shrinks to its surviving members;
 		// they are still siblings, so lockstep execution stays valid.
 		results, outs := s.opts.ExecuteGroup(reqs, tr)
+		if cohort && journalActive() {
+			journalEmit(JournalEvent{Ev: EvCohortFinish, Job: job.ID,
+				Worker: id, N: int64(len(started)), DurNS: time.Since(t0).Nanoseconds()})
+		}
 		for k, cell := range started {
+			s.obs.observeCell(outs[k].Phases)
 			sim.EmitProgress(job.finishCell(cell, results[k], outs[k]))
+			if journalActive() {
+				journalEmit(JournalEvent{Ev: EvCellFinish, Job: job.ID,
+					Cell: cellName(reqs[k].Cfg.Label, reqs[k].Spec.Name), Seq: cell,
+					Worker: id, DurNS: outs[k].Wall.Nanoseconds(),
+					Note: outcomeNote(outs[k])})
+			}
 		}
 	}
+}
+
+// outcomeNote summarizes how a cell was satisfied for the journal.
+func outcomeNote(out sim.CellOutcome) string {
+	switch {
+	case out.Cached:
+		return "cached"
+	case out.Shared:
+		return "shared"
+	case out.Replayed:
+		return "replayed"
+	}
+	return "simulated"
 }
 
 // plan turns cell indexes (nil means all) into queue groups: timing
@@ -252,6 +293,14 @@ func (s *Scheduler) submit(name string, pri int, cfgs []sim.Config, specs []work
 		s.mu.Unlock()
 		return nil, err
 	}
+	if journalActive() {
+		journalEmit(JournalEvent{Ev: EvJobSubmit, Job: id,
+			N: int64(len(job.cells)), Note: name})
+		for i, c := range job.cells {
+			journalEmit(JournalEvent{Ev: EvCellQueue, Job: id,
+				Cell: cellName(c.Cfg.Label, c.Spec.Name), Seq: i})
+		}
+	}
 	return job, nil
 }
 
@@ -312,6 +361,7 @@ func (s *Scheduler) Cancel(id string) error {
 	}
 	job.cond.Broadcast()
 	job.mu.Unlock()
+	journalEmit(JournalEvent{Ev: EvJobCancel, Job: id})
 	return nil
 }
 
@@ -360,6 +410,14 @@ func (s *Scheduler) Resume(id string) error {
 		}
 		job.mu.Unlock()
 		return err
+	}
+	if journalActive() {
+		journalEmit(JournalEvent{Ev: EvJobResume, Job: id, N: int64(len(todo))})
+		for _, i := range todo {
+			c := job.cells[i]
+			journalEmit(JournalEvent{Ev: EvCellQueue, Job: id,
+				Cell: cellName(c.Cfg.Label, c.Spec.Name), Seq: i})
+		}
 	}
 	return nil
 }

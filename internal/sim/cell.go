@@ -64,6 +64,11 @@ type CellOutcome struct {
 	StreamFromStore bool
 	// Wall is the caller's wall time on the cell, however it was served.
 	Wall time.Duration
+	// Phases decomposes Wall by phase: build, fast-forward, record,
+	// decode, timing, store-wait. Shared productions (checkpoints,
+	// recordings) are attributed to the cell that produced them; cohort
+	// members carry an even split of their cohort's shared cost.
+	Phases PhaseTimes
 }
 
 // FromStore reports whether the cell's result came out of the unified
@@ -79,8 +84,10 @@ func (o CellOutcome) FromStore() bool { return o.Cached || o.Shared }
 func ExecuteCell(req CellRequest, tr *Tracker) (Result, CellOutcome) {
 	start := time.Now()
 	var out CellOutcome
-	v, oc := artifacts.GetOrProduce(resultKey(req.Cfg, req.Spec.Name, req.P), func() (any, int64) {
-		res := simulateCell(req, tr, &out)
+	pc := &phaseCtx{label: req.Cfg.Label, workload: req.Spec.Name, ph: &out.Phases}
+	k := resultKey(req.Cfg, req.Spec.Name, req.P)
+	v, oc := artifacts.GetOrProduce(k, func() (any, int64) {
+		res := simulateCell(req, tr, &out, pc)
 		return res, resultBytes(res)
 	})
 	res := v.(Result)
@@ -89,15 +96,25 @@ func ExecuteCell(req CellRequest, tr *Tracker) (Result, CellOutcome) {
 	// The stored record may carry another sweep's display label.
 	res.Label = req.Cfg.Label
 	out.Wall = time.Since(start)
+	if oc.Waited {
+		// The whole wall was spent blocked on another caller's run.
+		pc.add(PhaseStoreWait, out.Wall)
+	}
+	pc.artifact(k, oc, out.Wall)
 	return res, out
 }
 
 // simulateCell runs the cell for real, choosing the cheapest eligible
 // composition: replay a recorded stream, resume a shared checkpoint, or
-// run live from a cloned image.
-func simulateCell(req CellRequest, tr *Tracker, out *CellOutcome) Result {
+// run live from a cloned image. Phase attribution: the timing window is
+// measured around Simulate/SimulateFrom, shared productions attribute
+// inside the cached helpers, and whatever wall time remains is banked
+// as build — so the per-cell sum tracks the cell's measured wall.
+func simulateCell(req CellRequest, tr *Tracker, out *CellOutcome, pc *phaseCtx) Result {
 	cfg, spec, p := req.Cfg, req.Spec, req.P
 	var res Result
+	t0 := time.Now()
+	base := pc.total()
 	tr.phase(+1, 0)
 	switch {
 	case replayEligible(cfg, p):
@@ -106,45 +123,54 @@ func simulateCell(req CellRequest, tr *Tracker, out *CellOutcome) Result {
 		// when fast-forwarding) and this cell replays the buffer through
 		// its timing models.
 		out.Replayed = true
-		recd, so := cachedRecording(spec, cfg, p, tr)
+		recd, so := cachedRecording(spec, cfg, p, tr, pc)
 		out.StreamFromStore = so.FromStore()
 		var master *workloads.Instance
 		if p.FastForward == 0 {
-			master = cachedBuild(spec, p.Scale)
+			master = cachedBuild(spec, p.Scale, pc)
 		}
-		m, src, err := newReplayMachine(cfg, spec, p, recd, master, out, tr)
+		m, src, err := newReplayMachine(cfg, spec, p, recd, master, out, tr, pc)
 		if err != nil {
 			panic(err)
 		}
 		tr.phase(-1, +1)
+		tt := time.Now()
 		if p.FastForward > 0 {
 			res = SimulateFrom(m, p)
 		} else {
 			res = Simulate(m, p)
 		}
+		pc.add(PhaseTiming, time.Since(tt))
 		src.Recycle() // the machine is done; pool the decode scratch
 	case p.FastForward > 0:
 		// Shared-checkpoint path: the workload's fast-forward runs once
 		// (cachedCheckpoint) and every cell resumes from a clone of its
 		// frozen image.
-		ck, co := cachedCheckpoint(spec, cfg, p, tr)
+		ck, co := cachedCheckpoint(spec, cfg, p, tr, pc)
 		out.CkptFromStore = co.FromStore()
 		m, err := NewMachineFrom(cfg, ck)
 		if err != nil {
 			panic(err)
 		}
 		tr.phase(-1, +1)
+		tt := time.Now()
 		res = SimulateFrom(m, p)
+		pc.add(PhaseTiming, time.Since(tt))
 	default:
-		inst := cloneInstance(cachedBuild(spec, p.Scale))
+		inst := cloneInstance(cachedBuild(spec, p.Scale, pc))
 		m, err := NewMachine(cfg, inst)
 		if err != nil {
 			panic(err)
 		}
 		tr.phase(-1, +1)
+		tt := time.Now()
 		res = Simulate(m, p)
+		pc.add(PhaseTiming, time.Since(tt))
 	}
 	tr.phase(0, -1)
+	if rest := time.Since(t0) - (pc.total() - base); rest > 0 {
+		pc.add(PhaseBuild, rest)
+	}
 	return res
 }
 
@@ -152,11 +178,14 @@ func simulateCell(req CellRequest, tr *Tracker, out *CellOutcome) Result {
 // most once across concurrent callers. Copy-on-write Clone makes
 // retention safe: cells clone the image and never write the master, so a
 // stored entry stays pristine.
-func cachedBuild(spec workloads.Spec, sc workloads.Scale) *workloads.Instance {
-	v, _ := artifacts.GetOrProduce(imageKey(spec.Name, sc), func() (any, int64) {
+func cachedBuild(spec workloads.Spec, sc workloads.Scale, pc *phaseCtx) *workloads.Instance {
+	k := imageKey(spec.Name, sc)
+	t0 := time.Now()
+	v, oc := artifacts.GetOrProduce(k, func() (any, int64) {
 		inst := spec.Build(sc)
 		return inst, instanceBytes(inst)
 	})
+	pc.artifact(k, oc, time.Since(t0))
 	return v.(*workloads.Instance)
 }
 
@@ -199,23 +228,30 @@ func warmKey(cfg Config) string {
 // concurrent callers: build (or fetch) the raw image, fast-forward a
 // throwaway machine, capture. The outcome reports whether this caller
 // got it from the store (hit or joined flight) rather than producing it.
-func cachedCheckpoint(spec workloads.Spec, cfg Config, p Params, tr *Tracker) (*Checkpoint, artifact.Outcome) {
+func cachedCheckpoint(spec workloads.Spec, cfg Config, p Params, tr *Tracker, pc *phaseCtx) (*Checkpoint, artifact.Outcome) {
 	warm := ""
 	if p.Warm {
 		warm = warmKey(cfg)
 	}
 	k := checkpointKey(spec.Name, p.Scale, p.FastForward, warm)
+	callStart := time.Now()
 	v, oc := artifacts.GetOrProduce(k, func() (any, int64) {
 		tr.ckptBegin()
 		t0 := time.Now()
-		m, err := NewMachine(cfg, cloneInstance(cachedBuild(spec, p.Scale)))
+		m, err := NewMachine(cfg, cloneInstance(cachedBuild(spec, p.Scale, pc)))
 		if err != nil {
 			panic(err)
 		}
 		m.FastForward(p.FastForward, p.Warm)
 		ck := m.Checkpoint()
-		tr.ckptEnd(time.Since(t0))
+		d := time.Since(t0)
+		tr.ckptEnd(d)
+		pc.add(PhaseFastForward, d)
 		return ck, ck.Bytes()
 	})
+	if oc.Waited {
+		pc.add(PhaseStoreWait, time.Since(callStart))
+	}
+	pc.artifact(k, oc, time.Since(callStart))
 	return v.(*Checkpoint), oc
 }

@@ -223,12 +223,14 @@ func ExecuteCohort(reqs []CellRequest, tr *Tracker) ([]Result, []CellOutcome) {
 	}
 	var claims, joins []member
 	for i, req := range reqs {
-		v, oc, t := artifacts.Begin(resultKey(req.Cfg, req.Spec.Name, req.P))
+		k := resultKey(req.Cfg, req.Spec.Name, req.P)
+		v, oc, t := artifacts.Begin(k)
 		switch {
 		case t == nil:
 			results[i] = v.(Result)
 			outs[i].Cached = oc.Hit
 			outs[i].Wall = time.Since(start)
+			emitArtifact(req.Cfg.Label, req.Spec.Name, k, oc, outs[i].Wall)
 		case !t.Owner():
 			outs[i].Shared = true
 			joins = append(joins, member{i, t})
@@ -248,11 +250,21 @@ func ExecuteCohort(reqs []CellRequest, tr *Tracker) ([]Result, []CellOutcome) {
 		for _, m := range claims {
 			m.t.Commit(results[m.idx], resultBytes(results[m.idx]))
 			outs[m.idx].Wall = share
+			req := reqs[m.idx]
+			emitArtifact(req.Cfg.Label, req.Spec.Name,
+				resultKey(req.Cfg, req.Spec.Name, req.P), artifact.Outcome{}, share)
 		}
 	}
 	for _, m := range joins {
 		results[m.idx] = m.t.Wait().(Result)
-		outs[m.idx].Wall = time.Since(start)
+		d := time.Since(start)
+		outs[m.idx].Wall = d
+		// The member's wall was spent blocked on another worker's run
+		// (our own lockstep run first, then the wait itself).
+		req := reqs[m.idx]
+		jpc := &phaseCtx{label: req.Cfg.Label, workload: req.Spec.Name, ph: &outs[m.idx].Phases}
+		jpc.add(PhaseStoreWait, d)
+		jpc.artifact(resultKey(req.Cfg, req.Spec.Name, req.P), artifact.Outcome{Waited: true}, d)
 	}
 	// Stored records may carry another member's or sweep's display label.
 	for i, req := range reqs {
@@ -268,9 +280,15 @@ func ExecuteCohort(reqs []CellRequest, tr *Tracker) ([]Result, []CellOutcome) {
 func runCohort(reqs []CellRequest, claims []int, results []Result, outs []CellOutcome, tr *Tracker) {
 	first := reqs[claims[0]]
 	spec, p := first.Spec, first.P
+	t0 := time.Now()
+	// One cohort-level phase decomposition, split evenly across the
+	// claimed members when the run ends. Hook events carry the first
+	// member's label (the cohort runs on one worker under one banner).
+	var cph PhaseTimes
+	pc := &phaseCtx{label: first.Cfg.Label, workload: spec.Name, ph: &cph}
 	tr.phase(+1, 0)
 
-	rec, so := cachedRecording(spec, first.Cfg, p, tr)
+	rec, so := cachedRecording(spec, first.Cfg, p, tr, pc)
 	machines := make([]Machine, len(claims))
 	steppers := make([]interface {
 		StepBatch(b *stream.DecodedBatch, lo, hi int)
@@ -279,7 +297,7 @@ func runCohort(reqs []CellRequest, claims []int, results []Result, outs []CellOu
 		req := reqs[ci]
 		outs[ci].Replayed = true
 		outs[ci].StreamFromStore = so.FromStore() || k > 0
-		m, err := newCohortMachine(req.Cfg, spec, p, &outs[ci], tr)
+		m, err := newCohortMachine(req.Cfg, spec, p, &outs[ci], tr, pc)
 		if err != nil {
 			panic(err)
 		}
@@ -313,17 +331,24 @@ func runCohort(reqs []CellRequest, claims []int, results []Result, outs []CellOu
 		}
 	}
 	maybeReset() // folded-checkpoint windows have warmup 0
+	// Decode and timing interleave chunk by chunk; accumulate each side
+	// across the loop and attribute once, so the journal sees one decode
+	// and one timing segment per cohort instead of one per chunk.
+	var decodeWall, timingWall time.Duration
 	for chunk := 0; consumed < total; chunk++ {
 		var b *stream.DecodedBatch
+		td := time.Now()
 		if useStore {
-			b = cohortChunk(spec, p, src, chunk)
+			b = cohortChunk(spec, p, src, chunk, pc)
 		} else {
 			local.Fill(src, cohortChunkRows)
 			b = &local
 		}
+		decodeWall += time.Since(td)
 		if b.N == 0 {
 			break // recording ended early (program halt)
 		}
+		tt := time.Now()
 		for lo := 0; lo < b.N; {
 			hi := b.N
 			if !resetDone && consumed+uint64(hi-lo) > warmup {
@@ -336,7 +361,10 @@ func runCohort(reqs []CellRequest, claims []int, results []Result, outs []CellOu
 			maybeReset()
 			lo = hi
 		}
+		timingWall += time.Since(tt)
 	}
+	pc.add(PhaseDecode, decodeWall)
+	pc.add(PhaseTiming, timingWall)
 	if !resetDone {
 		// The stream ended inside warmup; solo replay still resets and
 		// collects an empty window.
@@ -355,6 +383,15 @@ func runCohort(reqs []CellRequest, claims []int, results []Result, outs []CellOu
 		results[ci] = res
 	}
 	tr.phase(0, -1)
+	// Bank the unclaimed remainder as build, then apportion the cohort's
+	// shared cost evenly to each produced cell.
+	if rest := time.Since(t0) - cph.Total(); rest > 0 {
+		pc.add(PhaseBuild, rest)
+	}
+	share := cph.Split(len(claims))
+	for _, ci := range claims {
+		outs[ci].Phases.AddAll(share)
+	}
 	tr.CohortDone(len(claims))
 	cohortTotals.Lock()
 	cohortTotals.runs++
@@ -365,18 +402,18 @@ func runCohort(reqs []CellRequest, claims []int, results []Result, outs []CellOu
 // newCohortMachine builds one stream-pure member positioned at the
 // recording start: newReplayMachine minus the source attachment (the
 // member is stepped over shared batches, never through a source).
-func newCohortMachine(cfg Config, spec workloads.Spec, p Params, out *CellOutcome, tr *Tracker) (Machine, error) {
+func newCohortMachine(cfg Config, spec workloads.Spec, p Params, out *CellOutcome, tr *Tracker, pc *phaseCtx) (Machine, error) {
 	var inst *workloads.Instance
 	var ck *Checkpoint
 	if p.FastForward > 0 {
 		var co artifact.Outcome
-		ck, co = cachedCheckpoint(spec, cfg, p, tr)
+		ck, co = cachedCheckpoint(spec, cfg, p, tr, pc)
 		out.CkptFromStore = co.FromStore()
 		inst = &workloads.Instance{
 			Name: ck.Workload, Prog: ck.prog, Mem: ck.mem, Check: ck.check,
 		}
 	} else {
-		inst = cachedBuild(spec, p.Scale)
+		inst = cachedBuild(spec, p.Scale, pc)
 	}
 	m, err := NewMachine(cfg, inst)
 	if err != nil {
@@ -394,13 +431,15 @@ func newCohortMachine(cfg Config, spec workloads.Spec, p Params, out *CellOutcom
 // each chunk exactly once while it stays resident. On a store hit the
 // batch's embedded decoder end state repositions src past the chunk, so
 // a hit skips the decode entirely.
-func cohortChunk(spec workloads.Spec, p Params, src *stream.ReplaySource, chunk int) *stream.DecodedBatch {
+func cohortChunk(spec workloads.Spec, p Params, src *stream.ReplaySource, chunk int, pc *phaseCtx) *stream.DecodedBatch {
 	k := decodedKey(spec.Name, p.Scale, p.FastForward, p.Warmup+p.Measure, chunk, cohortChunkRows)
+	t0 := time.Now()
 	v, oc := artifacts.GetOrProduce(k, func() (any, int64) {
 		b := new(stream.DecodedBatch)
 		b.Fill(src, cohortChunkRows)
 		return b, b.Bytes()
 	})
+	pc.artifact(k, oc, time.Since(t0))
 	b := v.(*stream.DecodedBatch)
 	if oc.FromStore() {
 		src.SetState(b.End)

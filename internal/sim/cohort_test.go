@@ -26,12 +26,12 @@ func cohortTestConfigs() []Config {
 // simulateCell does when replay-eligible), bypassing the result cache.
 func soloReplay(t *testing.T, spec workloads.Spec, cfg Config, p Params) Result {
 	t.Helper()
-	recd, _ := cachedRecording(spec, cfg, p, nil)
+	recd, _ := cachedRecording(spec, cfg, p, nil, nil)
 	var master *workloads.Instance
 	if p.FastForward == 0 {
-		master = cachedBuild(spec, p.Scale)
+		master = cachedBuild(spec, p.Scale, nil)
 	}
-	m, _, err := newReplayMachine(cfg, spec, p, recd, master, nil, nil)
+	m, _, err := newReplayMachine(cfg, spec, p, recd, master, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestCohortMatchesSolo(t *testing.T) {
 				t.Errorf("%s: cohort Result differs from solo replay:\ncohort %+v\nsolo   %+v",
 					cfg.Label, results[i], solo)
 			}
-			ck, _ := cachedCheckpoint(spec, cfg, p, nil)
+			ck, _ := cachedCheckpoint(spec, cfg, p, nil, nil)
 			liveM, err := NewMachineFrom(cfg, ck)
 			if err != nil {
 				t.Fatal(err)

@@ -45,11 +45,11 @@ func TestReplayMatchesLive(t *testing.T) {
 				return
 			}
 
-			recd, _ := cachedRecording(spec, cfg, p, nil)
+			recd, _ := cachedRecording(spec, cfg, p, nil, nil)
 			if recd.N != p.Warmup+p.Measure {
 				t.Fatalf("recording has %d records, want %d", recd.N, p.Warmup+p.Measure)
 			}
-			m, _, err := newReplayMachine(cfg, spec, p, recd, cachedBuild(spec, p.Scale), nil, nil)
+			m, _, err := newReplayMachine(cfg, spec, p, recd, cachedBuild(spec, p.Scale, nil), nil, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -81,15 +81,15 @@ func TestReplayMatchesLiveCheckpointed(t *testing.T) {
 		t.Run(kind.String(), func(t *testing.T) {
 			cfg := MachineConfig(kind)
 
-			ck, _ := cachedCheckpoint(spec, cfg, p, nil)
+			ck, _ := cachedCheckpoint(spec, cfg, p, nil, nil)
 			liveM, err := NewMachineFrom(cfg, ck)
 			if err != nil {
 				t.Fatal(err)
 			}
 			live := SimulateFrom(liveM, p)
 
-			recd, _ := cachedRecording(spec, cfg, p, nil)
-			repM, _, err := newReplayMachine(cfg, spec, p, recd, nil, nil, nil)
+			recd, _ := cachedRecording(spec, cfg, p, nil, nil)
+			repM, _, err := newReplayMachine(cfg, spec, p, recd, nil, nil, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -31,6 +31,7 @@ type CellEvent struct {
 	Shared   bool          // joined another caller's in-flight execution
 	Replayed bool          // consumed a recorded stream instead of a live emulator
 	Wall     time.Duration // wall time spent on the cell
+	Phases   PhaseTimes    // per-phase decomposition of Wall
 	Instrs   uint64        // instructions the cell simulated (its Result's window)
 	Done     int           // cells finished in the current matrix
 	Cells    int           // total cells of the current matrix
@@ -85,6 +86,59 @@ type Tracker struct {
 	cohortCells int           // cells those cohorts produced (occupancy numerator)
 	ckptWall    time.Duration // completed checkpoint-production wall time
 	recWall     time.Duration // completed recording-production wall time
+	phaseWall   PhaseTimes    // finished cells' per-phase wall time
+
+	// Sliding instruction-rate window for ETA projection: cumulative
+	// instruction samples taken at each cell completion. Cohorts finish
+	// cells in batches of up to MaxCohortWidth, so projecting from the
+	// completion count sawtooths; a rate window over the recent samples
+	// does not (the batch contributes both its instructions and the time
+	// it took to produce them).
+	samples  [rateSamples]rateSample
+	nsamples int // samples written; index i lives at samples[i%rateSamples]
+}
+
+// rateSamples bounds the rate window's memory; rateWindowSpan is how far
+// back the projection looks.
+const (
+	rateSamples    = 64
+	rateWindowSpan = 20 * time.Second
+)
+
+type rateSample struct {
+	at     time.Time
+	instrs uint64 // cumulative instructions finished at the sample time
+}
+
+// rateWindow is the windowed instruction-rate estimate ETA projects
+// from: instrs retired over span, with the window ending at last.
+type rateWindow struct {
+	instrs uint64
+	span   time.Duration
+	last   time.Time
+}
+
+// rateWindowLocked computes the sliding window ending at the newest
+// sample: the base is the most recent sample at least rateWindowSpan
+// old (or the oldest retained one). Caller holds t.mu.
+func (t *Tracker) rateWindowLocked(now time.Time) rateWindow {
+	newest := t.samples[(t.nsamples-1)%rateSamples]
+	oldest := 0
+	if t.nsamples > rateSamples {
+		oldest = t.nsamples - rateSamples
+	}
+	base := newest
+	for i := t.nsamples - 1; i >= oldest; i-- {
+		base = t.samples[i%rateSamples]
+		if now.Sub(base.at) >= rateWindowSpan {
+			break
+		}
+	}
+	return rateWindow{
+		instrs: newest.instrs - base.instrs,
+		span:   newest.at.Sub(base.at),
+		last:   newest.at,
+	}
 }
 
 // trackers is the registry of open trackers that CurrentStatus folds
@@ -98,6 +152,8 @@ var trackers = struct {
 // registers it with the status surfaces. Close it when the grid ends.
 func NewTracker(cells int) *Tracker {
 	t := &Tracker{start: time.Now(), cells: cells}
+	t.samples[0] = rateSample{at: t.start}
+	t.nsamples = 1
 	trackers.Lock()
 	trackers.m[t] = struct{}{}
 	trackers.Unlock()
@@ -188,6 +244,9 @@ func (t *Tracker) CellDone(out CellOutcome, instrs uint64) {
 		t.replayed++
 	}
 	t.instrs += instrs
+	t.phaseWall.AddAll(out.Phases)
+	t.samples[t.nsamples%rateSamples] = rateSample{at: time.Now(), instrs: t.instrs}
+	t.nsamples++
 	t.mu.Unlock()
 }
 
@@ -225,6 +284,7 @@ type GridStatus struct {
 	Elapsed       time.Duration // since the earliest open grid started
 	CkptWall      time.Duration // wall time spent producing checkpoints so far
 	RecWall       time.Duration // wall time spent producing recordings so far
+	PhaseWall     PhaseTimes    // finished cells' wall time decomposed by phase
 	Rate          float64       // instructions per wall-second so far
 	ETA           time.Duration // projected time to finish, 0 if unknown
 }
@@ -234,6 +294,7 @@ func (t *Tracker) Status() GridStatus {
 	if t == nil {
 		return GridStatus{}
 	}
+	now := time.Now()
 	t.mu.Lock()
 	s := GridStatus{
 		Active: true, Cells: t.cells,
@@ -243,10 +304,12 @@ func (t *Tracker) Status() GridStatus {
 		Replayed: t.replayed, Instrs: t.instrs,
 		Cohorts: t.cohorts, CohortCells: t.cohortCells,
 		CkptWall: t.ckptWall, RecWall: t.recWall,
-		Elapsed: time.Since(t.start),
+		PhaseWall: t.phaseWall,
+		Elapsed:   now.Sub(t.start),
 	}
+	win := t.rateWindowLocked(now)
 	t.mu.Unlock()
-	finishStatus(&s)
+	finishStatus(&s, win, now)
 	return s
 }
 
@@ -255,8 +318,10 @@ func (t *Tracker) Status() GridStatus {
 // single-shot subcommands) it is that grid's status; under the grid
 // service it folds all concurrently running jobs together.
 func CurrentStatus() GridStatus {
+	now := time.Now()
 	trackers.Lock()
 	var s GridStatus
+	var win rateWindow
 	var earliest time.Time
 	for t := range trackers.m {
 		t.mu.Lock()
@@ -275,6 +340,15 @@ func CurrentStatus() GridStatus {
 		s.Instrs += t.instrs
 		s.CkptWall += t.ckptWall
 		s.RecWall += t.recWall
+		s.PhaseWall.AddAll(t.phaseWall)
+		tw := t.rateWindowLocked(now)
+		win.instrs += tw.instrs
+		if tw.span > win.span {
+			win.span = tw.span
+		}
+		if tw.last.After(win.last) {
+			win.last = tw.last
+		}
 		if earliest.IsZero() || t.start.Before(earliest) {
 			earliest = t.start
 		}
@@ -282,15 +356,15 @@ func CurrentStatus() GridStatus {
 	}
 	trackers.Unlock()
 	if s.Active {
-		s.Elapsed = time.Since(earliest)
+		s.Elapsed = now.Sub(earliest)
 	}
-	finishStatus(&s)
+	finishStatus(&s, win, now)
 	return s
 }
 
 // finishStatus derives the queue depth, rate and ETA shared by the
 // per-tracker and aggregate snapshots.
-func finishStatus(s *GridStatus) {
+func finishStatus(s *GridStatus, win rateWindow, now time.Time) {
 	s.StreamBytes = RecordingStats().Bytes
 	dec := artifacts.Stats()[artifact.Decoded]
 	s.DecodedHits, s.DecodedMade = dec.Hits, dec.Produced
@@ -306,15 +380,37 @@ func finishStatus(s *GridStatus) {
 		s.Rate = float64(s.Instrs) / sec
 	}
 	if s.Done > 0 && s.Done < s.Cells {
-		// Checkpoint and recording production are one-time shared costs,
-		// not per-cell ones: project from per-cell time with them
-		// excluded, so ETA doesn't jump when a shared pass finishes.
+		s.ETA = projectETA(s, win, now)
+	}
+}
+
+// projectETA projects time-to-finish from the sliding instruction-rate
+// window: remaining work (the mean instructions per finished cell times
+// the unfinished count) over the windowed rate, minus the time already
+// elapsed since the window's last completion. Projecting from the rate
+// window instead of the completion count keeps the estimate steady when
+// cohorts land up to MaxCohortWidth cells at once — the batch moves the
+// numerator and denominator together. The floor is one second: an
+// in-flight grid never reports a zero (= unknown) ETA.
+func projectETA(s *GridStatus, win rateWindow, now time.Time) time.Duration {
+	if win.span <= 0 || win.instrs == 0 {
+		// No measured window yet (first cells still in flight): fall
+		// back to the completion-count projection, with the one-time
+		// shared production costs excluded.
 		perCell := s.Elapsed - s.CkptWall - s.RecWall
 		if perCell < 0 {
 			perCell = 0
 		}
-		s.ETA = time.Duration(float64(perCell) / float64(s.Done) * float64(s.Cells-s.Done))
+		return time.Duration(float64(perCell) / float64(s.Done) * float64(s.Cells-s.Done))
 	}
+	rate := float64(win.instrs) / win.span.Seconds()
+	perCell := float64(s.Instrs) / float64(s.Done)
+	left := time.Duration(perCell * float64(s.Cells-s.Done) / rate * float64(time.Second))
+	left -= now.Sub(win.last)
+	if left < time.Second {
+		left = time.Second
+	}
+	return left
 }
 
 // CellStat is the scheduling record of one grid cell.
@@ -531,7 +627,7 @@ func RunMatrixLocal(cfgs []Config, specs []workloads.Spec, p Params) *ResultSet 
 				done++
 				ev := CellEvent{Label: c.Cfg.Label, Workload: c.Spec.Name, Cached: out.Cached,
 					Shared: out.Shared, Replayed: out.Replayed,
-					Wall: out.Wall, Instrs: res.Instrs, Done: done, Cells: len(cells)}
+					Wall: out.Wall, Phases: out.Phases, Instrs: res.Instrs, Done: done, Cells: len(cells)}
 				mu.Unlock()
 				tr.CellDone(out, res.Instrs)
 				emitProgress(ev)

@@ -143,9 +143,10 @@ func RecordingStats() StreamCacheStats {
 // is cachedCheckpoint's, never repeated here). The outcome reports
 // whether this caller got the buffer from the store (hit or joined
 // flight) rather than recording it.
-func cachedRecording(spec workloads.Spec, cfg Config, p Params, tr *Tracker) (*stream.Recording, artifact.Outcome) {
+func cachedRecording(spec workloads.Spec, cfg Config, p Params, tr *Tracker, pc *phaseCtx) (*stream.Recording, artifact.Outcome) {
 	n := p.Warmup + p.Measure
 	k := streamKey(spec.Name, p.Scale, p.FastForward, n)
+	callStart := time.Now()
 	v, oc := artifacts.GetOrProduce(k, func() (any, int64) {
 		// Resolve the start-point image before entering the recording
 		// phase: cachedCheckpoint manages the building/checkpointing
@@ -153,11 +154,11 @@ func cachedRecording(spec workloads.Spec, cfg Config, p Params, tr *Tracker) (*s
 		// as "building".
 		var cpu *emu.CPU
 		if p.FastForward > 0 {
-			ck, _ := cachedCheckpoint(spec, cfg, p, tr)
+			ck, _ := cachedCheckpoint(spec, cfg, p, tr, pc)
 			cpu = emu.New(ck.prog, ck.mem.Clone())
 			cpu.LoadArch(ck.arch)
 		} else {
-			inst := cloneInstance(cachedBuild(spec, p.Scale))
+			inst := cloneInstance(cachedBuild(spec, p.Scale, pc))
 			cpu = emu.New(inst.Prog, inst.Mem)
 		}
 
@@ -167,7 +168,9 @@ func cachedRecording(spec workloads.Spec, cfg Config, p Params, tr *Tracker) (*s
 		if err != nil {
 			panic(err) // the emulator broke the stream contract: a bug, not an input error
 		}
-		tr.recEnd(time.Since(t0))
+		d := time.Since(t0)
+		tr.recEnd(d)
+		pc.add(PhaseRecord, d)
 
 		streamStats.Lock()
 		streamStats.recordings++
@@ -176,6 +179,10 @@ func cachedRecording(spec workloads.Spec, cfg Config, p Params, tr *Tracker) (*s
 		streamStats.Unlock()
 		return rec, int64(rec.Bytes())
 	})
+	if oc.Waited {
+		pc.add(PhaseStoreWait, time.Since(callStart))
+	}
+	pc.artifact(k, oc, time.Since(callStart))
 	return v.(*stream.Recording), oc
 }
 
@@ -190,13 +197,13 @@ func cachedRecording(spec workloads.Spec, cfg Config, p Params, tr *Tracker) (*s
 // so the caller can Recycle its decode scratch once the cell finishes.
 func newReplayMachine(cfg Config, spec workloads.Spec, p Params,
 	rec *stream.Recording, master *workloads.Instance,
-	out *CellOutcome, tr *Tracker) (Machine, *stream.ReplaySource, error) {
+	out *CellOutcome, tr *Tracker, pc *phaseCtx) (Machine, *stream.ReplaySource, error) {
 	needs := StreamNeedsOf(cfg.Core)
 	var inst *workloads.Instance
 	var ck *Checkpoint
 	if p.FastForward > 0 {
 		var co artifact.Outcome
-		ck, co = cachedCheckpoint(spec, cfg, p, tr)
+		ck, co = cachedCheckpoint(spec, cfg, p, tr, pc)
 		if out != nil {
 			out.CkptFromStore = co.FromStore()
 		}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ChromeBuilder assembles a Chrome Trace Event Format timeline from
+// arbitrary track/slice primitives — the reusable core of the exporter
+// behind WriteChromeTrace, generalized so other layers (the grid
+// scheduler's lifecycle journal) can render their own timelines without
+// re-deriving the format. Timestamps and durations are microseconds, as
+// the format nominally wants; callers pick their own mapping (the core
+// timeline reads 1 cycle = 1 µs, the grid trace converts wall-clock ns).
+type ChromeBuilder struct {
+	events []chromeEvent
+}
+
+// NewChromeBuilder starts a timeline whose single process is named
+// process.
+func NewChromeBuilder(process string) *ChromeBuilder {
+	b := &ChromeBuilder{events: make([]chromeEvent, 0, 64)}
+	b.events = append(b.events, metaEvent("process_name", 0, map[string]any{"name": process}))
+	return b
+}
+
+// Thread names a track. Declare tracks before (or after) their events;
+// the format does not care, but declaring them keeps display order
+// deterministic.
+func (b *ChromeBuilder) Thread(tid int, name string) {
+	b.events = append(b.events, metaEvent("thread_name", tid, map[string]any{"name": name}))
+}
+
+// Slice adds a complete ("X") duration slice. Zero and negative
+// durations clamp to 1 µs so the slice stays visible.
+func (b *ChromeBuilder) Slice(tid int, name, cat string, ts, dur int64, args map[string]any) {
+	if dur < 1 {
+		dur = 1
+	}
+	b.events = append(b.events, chromeEvent{Name: name, Cat: cat, Ph: "X",
+		Ts: ts, Dur: dur, Pid: chromePid, Tid: tid, Args: args})
+}
+
+// Instant adds a thread-scoped instant ("i") marker.
+func (b *ChromeBuilder) Instant(tid int, name, cat string, ts int64, args map[string]any) {
+	b.events = append(b.events, chromeEvent{Name: name, Cat: cat, Ph: "i",
+		Ts: ts, Pid: chromePid, Tid: tid, S: "t", Args: args})
+}
+
+// FlowStart opens a flow arrow ("s") with the given id at (tid, ts).
+func (b *ChromeBuilder) FlowStart(tid int, name, cat string, ts int64, id uint64) {
+	b.events = append(b.events, chromeEvent{Name: name, Cat: cat, Ph: "s",
+		Ts: ts, Pid: chromePid, Tid: tid, ID: id})
+}
+
+// FlowEnd terminates a flow arrow ("f", bound to the enclosing slice) at
+// (tid, ts). One flow id may terminate several times: a producer fans
+// out to every consumer.
+func (b *ChromeBuilder) FlowEnd(tid int, name, cat string, ts int64, id uint64) {
+	b.events = append(b.events, chromeEvent{Name: name, Cat: cat, Ph: "f", BP: "e",
+		Ts: ts, Pid: chromePid, Tid: tid, ID: id})
+}
+
+// AsyncBegin opens an async span ("b") with the given id.
+func (b *ChromeBuilder) AsyncBegin(tid int, name, cat string, ts int64, id uint64, args map[string]any) {
+	b.events = append(b.events, chromeEvent{Name: name, Cat: cat, Ph: "b",
+		Ts: ts, Pid: chromePid, Tid: tid, ID: id, Args: args})
+}
+
+// AsyncEnd closes an async span ("e"). Name, cat and id must match the
+// AsyncBegin.
+func (b *ChromeBuilder) AsyncEnd(tid int, name, cat string, ts int64, id uint64, args map[string]any) {
+	b.events = append(b.events, chromeEvent{Name: name, Cat: cat, Ph: "e",
+		Ts: ts, Pid: chromePid, Tid: tid, ID: id, Args: args})
+}
+
+// Len reports the number of events added so far (metadata included).
+func (b *ChromeBuilder) Len() int { return len(b.events) }
+
+// Write renders the timeline as the JSON-object envelope form.
+func (b *ChromeBuilder) Write(w io.Writer) error {
+	return json.NewEncoder(w).Encode(chromeTrace{TraceEvents: b.events})
+}

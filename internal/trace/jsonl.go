@@ -50,6 +50,23 @@ func (j *JSONL) Emit(ev Event) {
 	}
 }
 
+// EmitRaw writes one pre-rendered JSON line (the trailing newline is
+// added here), sharing the sink's buffering and first-error latching.
+// The grid lifecycle journal renders its own records and streams them
+// through this path.
+func (j *JSONL) EmitRaw(line []byte) {
+	if j.err != nil {
+		return
+	}
+	if _, err := j.bw.Write(line); err != nil {
+		j.err = err
+		return
+	}
+	if err := j.bw.WriteByte('\n'); err != nil {
+		j.err = err
+	}
+}
+
 // Close flushes buffered lines and reports the first error encountered.
 func (j *JSONL) Close() error {
 	if j.err != nil {
