@@ -59,12 +59,15 @@ type BenchReport struct {
 	StreamBytesPerInstr float64 `json:"stream_bytes_per_instr,omitempty"`
 
 	// Decode-once cohort accounting: the cohort policy of the run, how
-	// many lockstep cohorts executed, the cells they covered, and their
-	// mean width (cells stepped per shared decoded batch).
-	Cohort      string  `json:"cohort,omitempty"`
-	Cohorts     int     `json:"cohorts,omitempty"`
-	CohortCells int     `json:"cohort_cells,omitempty"`
-	CohortWidth float64 `json:"cohort_width,omitempty"`
+	// many lockstep cohorts executed, the cells they covered, their
+	// mean width (cells stepped per shared decoded batch), and the full
+	// width histogram (width → cohorts run at that width), since the
+	// mean hides bimodal mixes.
+	Cohort       string         `json:"cohort,omitempty"`
+	Cohorts      int            `json:"cohorts,omitempty"`
+	CohortCells  int            `json:"cohort_cells,omitempty"`
+	CohortWidth  float64        `json:"cohort_width,omitempty"`
+	CohortWidths map[string]int `json:"cohort_widths,omitempty"`
 
 	// Phase attribution (populated by -phases): the grid's summed
 	// per-cell wall time decomposed by execution phase, and how much of
@@ -136,6 +139,7 @@ func cmdBench(w io.Writer, args []string) error {
 	defer sim.SetProgressHook(nil)
 	rec0 := sim.RecordingStats()
 	coh0runs, coh0cells := sim.CohortStats()
+	hist0 := sim.CohortWidthHist()
 
 	// Reference rates first, single-threaded and outside the profiled
 	// grid window.
@@ -206,6 +210,12 @@ func cmdBench(w io.Writer, args []string) error {
 		rep.CohortCells = ccells - coh0cells
 		if rep.Cohorts > 0 {
 			rep.CohortWidth = float64(rep.CohortCells) / float64(rep.Cohorts)
+			rep.CohortWidths = make(map[string]int)
+			for wdt, n := range sim.CohortWidthHist() {
+				if d := n - hist0[wdt]; d > 0 {
+					rep.CohortWidths[fmt.Sprintf("%d", wdt)] = d
+				}
+			}
 		}
 	}
 	if ffNS > 0 {
@@ -366,5 +376,26 @@ func printBenchDelta(w io.Writer, path string, cur BenchReport) error {
 	fmt.Fprintf(w, "  cells/s     %8.2f -> %8.2f  (%s)\n", base.CellsPerSec, cur.CellsPerSec, pct(cur.CellsPerSec, base.CellsPerSec))
 	fmt.Fprintf(w, "  ns/instr    %8.0f -> %8.0f  (%s)\n", base.NSPerInstr, cur.NSPerInstr, pct(cur.NSPerInstr, base.NSPerInstr))
 	fmt.Fprintf(w, "  allocs/instr%8.3f -> %8.3f  (%s)\n", base.AllocsPerInstr, cur.AllocsPerInstr, pct(cur.AllocsPerInstr, base.AllocsPerInstr))
+	// Throughput deltas are meaningless if the two runs didn't serve the
+	// same cell population the same way, so the replay/cohort shape is
+	// part of the diff: a wall-time "win" that coincides with fewer
+	// replay-served cells (or thinner cohorts) is an eligibility shift,
+	// not a speedup.
+	if base.Replay != "" || cur.Replay != "" {
+		fmt.Fprintf(w, "  replay cells%8d -> %8d  (live %d -> %d)\n",
+			base.ReplayCells, cur.ReplayCells, base.LiveCells, cur.LiveCells)
+		fmt.Fprintf(w, "  cohort width%8.1f -> %8.1f  (cohort cells %d -> %d)\n",
+			base.CohortWidth, cur.CohortWidth, base.CohortCells, cur.CohortCells)
+		share := func(r BenchReport) float64 {
+			if r.Cells == 0 {
+				return 0
+			}
+			return float64(r.ReplayCells) / float64(r.Cells)
+		}
+		if bs, cs := share(base), share(cur); bs-cs > 0.10 || cs-bs > 0.10 {
+			fmt.Fprintf(w, "  WARNING: replay eligibility shifted %.0f%% -> %.0f%% of cells — "+
+				"throughput deltas above compare different execution paths\n", 100*bs, 100*cs)
+		}
+	}
 	return nil
 }

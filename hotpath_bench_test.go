@@ -263,6 +263,41 @@ func TestCohortStepDoesNotAllocate(t *testing.T) {
 	}
 }
 
+// TestArchViewDoesNotAllocate guards the replay-backed architectural
+// state views SVR cells observe through: advancing past one decoded
+// record (register write-back, flags, store apply on warm pages) and the
+// retire-point reads the engine makes — ReadMem on the private clone,
+// Reg, CmpFlags — must all be allocation-free, on both the ArchView
+// (cohort members) and the memory-bearing ReplaySource (solo replay).
+func TestArchViewDoesNotAllocate(t *testing.T) {
+	rec := benchRecording(t, 1<<15)
+	viewMem, srcMem := mem.New(), mem.New()
+	// Fault in every page the bench kernel stores to (r1 wraps at 64 KiB)
+	// so the timed runs never take a first-touch page allocation.
+	for a := uint64(0); a < (1<<16)+128; a += mem.PageSize {
+		viewMem.Write(a, 1, 8)
+		srcMem.Write(a, 1, 8)
+	}
+	view := stream.NewArchView(rec, viewMem)
+	src := stream.NewReplayWithMem(rec, srcMem)
+	var r emu.DynInstr
+	for i := 0; i < 1<<10; i++ {
+		src.Next(&r)
+		view.Advance(&r)
+	}
+	var sink uint64
+	if allocs := testing.AllocsPerRun(1000, func() {
+		src.Next(&r)
+		view.Advance(&r)
+		sink += view.ReadMem(r.Addr, 8) + src.ReadMem(r.Addr, 8)
+		sink += uint64(view.Reg(1) + src.Reg(1))
+		sink += uint64(view.CmpFlags() + src.CmpFlags())
+	}); allocs != 0 {
+		t.Fatalf("ArchState view step allocates %.1f objects per instruction; the view path must be allocation-free", allocs)
+	}
+	_ = sink
+}
+
 // TestMemReadWriteDoesNotAllocate guards the radix-table memory: accesses
 // to already-touched pages must not allocate.
 func TestMemReadWriteDoesNotAllocate(t *testing.T) {

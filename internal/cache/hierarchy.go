@@ -130,6 +130,9 @@ func NewHierarchyShared(cfg Config, ch *dram.Channel) *Hierarchy {
 	if cfg.StrideDegree > 0 {
 		h.Stride = NewStridePrefetcher(64, cfg.StrideDegree)
 	}
+	// Only the L1-D has a Refresh-heavy caller (Prefetch); hint-table
+	// teaching on the other caches would be stores nothing ever reads.
+	h.L1D.EnableLineHints()
 
 	r := metrics.New()
 	h.Reg = r
@@ -285,6 +288,23 @@ func (h *Hierarchy) demandAccess(addr uint64, write bool, t int64) Result {
 // values) is available. Lines already present or in flight cost only the
 // L1 latency or the remaining fill time.
 func (h *Hierarchy) Prefetch(addr uint64, at int64, origin Origin) Result {
+	// Combined resident-line fast path: MRU D-TLB entry, quiesced MSHRs,
+	// and MRU L1-D line — SVR's steady state, where vectorized lanes
+	// hammer the same handful of lines. Replays exactly the state updates
+	// of the call chain below (D-TLB fast hit in translate, the
+	// MSHRQuiesced skip, and a Refresh fast hit), so counters, clocks and
+	// LRU order are bit-identical; anything else falls through.
+	if d := h.DTLB; d.fastVPN == addr>>PageBits+1 {
+		if c := h.L1D; c.fastLine == addr>>LineBits+1 && at >= c.mshrMaxReady {
+			d.Accesses++
+			d.clock++
+			d.lastUse[d.fastIdx] = d.clock
+			c.Accesses++
+			c.lruClock++
+			c.fastWay.lastUse = c.lruClock
+			return Result{CompleteAt: at + h.Cfg.L1Latency, Level: LevelL1}
+		}
+	}
 	t := h.translate(addr, at)
 	var ready int64
 	var inflight bool

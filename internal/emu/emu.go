@@ -55,6 +55,14 @@ func (c *CPU) Halted() bool { return c.halted || c.PC >= len(c.Prog.Code) }
 // SVR engine for loop-bound scavenging.
 func (c *CPU) Reg(r isa.Reg) int64 { return c.R[r] }
 
+// ReadMem returns size bytes of data memory at addr, zero-extended.
+// With Reg and CmpFlags it makes the live CPU an architectural-state
+// view (stream.ArchState) for consumers like the SVR engine.
+func (c *CPU) ReadMem(addr uint64, size uint8) uint64 { return c.Mem.Read(addr, size) }
+
+// CmpFlags returns the sign of the last compare: -1, 0, +1.
+func (c *CPU) CmpFlags() int { return c.Flags }
+
 // SetReg initializes register r (for passing kernel arguments).
 func (c *CPU) SetReg(r isa.Reg, v int64) {
 	if r != isa.R0 {

@@ -11,14 +11,17 @@ import (
 )
 
 // Timing cohorts: the decode-once half of execute-once, time-many.
-// Replay-eligible sibling cells (same workload window, stream-pure core
-// kinds) are grouped into cohorts that consume shared decoded SoA
+// Replay-eligible sibling cells (same workload window, any registered
+// core kind) are grouped into cohorts that consume shared decoded SoA
 // batches instead of private ReplaySource cursors, stepped in lockstep
 // one chunk at a time so the batch plus the members' hot state stay
-// cache-resident. Results are bit-identical to solo replay (and so to
-// live execution): the batch columns are filled by ReplaySource.Next
-// itself and each member's per-instruction issue order is unchanged —
-// only the K-fold re-decode of the same recording disappears.
+// cache-resident. Members that read state own private companions
+// advanced row-by-row ahead of issue — IMP a memory clone, SVR a full
+// stream.ArchView — so the shared batch stays immutable. Results are
+// bit-identical to solo replay (and so to live execution): the batch
+// columns are filled by ReplaySource.Next itself and each member's
+// per-instruction issue order is unchanged — only the K-fold re-decode
+// of the same recording disappears.
 
 // CohortMode selects whether the scheduler groups eligible sibling
 // cells into decode-once timing cohorts.
@@ -26,9 +29,9 @@ type CohortMode int
 
 // Cohort modes (the CLI's -cohort=on|off|auto).
 const (
-	// CohortAuto groups replay-eligible stream-pure siblings into
-	// cohorts; everything else runs solo. Results are bit-identical
-	// either way, so this is the default.
+	// CohortAuto groups replay-eligible siblings into cohorts;
+	// everything else runs solo. Results are bit-identical either way,
+	// so this is the default.
 	CohortAuto CohortMode = iota
 	// CohortOn behaves like CohortAuto (eligibility still applies) but
 	// states the intent explicitly for audited runs.
@@ -89,8 +92,9 @@ func CurrentCohortMode() CohortMode {
 // counters, like RecordingStats for streams).
 var cohortTotals struct {
 	sync.Mutex
-	runs  int
-	cells int
+	runs   int
+	cells  int
+	widths map[int]int
 }
 
 // CohortStats reports cumulative lockstep-cohort counts: cohorts run
@@ -99,6 +103,21 @@ func CohortStats() (runs, cells int) {
 	cohortTotals.Lock()
 	defer cohortTotals.Unlock()
 	return cohortTotals.runs, cohortTotals.cells
+}
+
+// CohortWidthHist returns a copy of the process-wide cohort width
+// histogram: widths (cells stepped per lockstep cohort) to how many
+// cohorts ran at that width. The mean hides bimodality — a grid of
+// width-8 SVR cohorts plus width-2 leftovers averages to an unremarkable
+// 5 — so the bench publishes the full distribution.
+func CohortWidthHist() map[int]int {
+	cohortTotals.Lock()
+	defer cohortTotals.Unlock()
+	h := make(map[int]int, len(cohortTotals.widths))
+	for w, n := range cohortTotals.widths {
+		h[w] = n
+	}
+	return h
 }
 
 // MaxCohortWidth caps how many cells one cohort steps in lockstep: past
@@ -142,17 +161,17 @@ func decodedStoreEnabled() bool {
 }
 
 // cohortEligible reports whether a cell can join a decode-once cohort:
-// replay-eligible, stream-pure (the batch has no memory image to keep
-// in lockstep), and an unsampled single window (the chunked lockstep
+// replay-eligible and an unsampled single window (the chunked lockstep
 // walk implements exactly the warmup → reset → measure sequence).
+// Every replay-eligible kind qualifies — stream-pure members step the
+// shared batch directly, and members that read memory or architectural
+// state (IMP, SVR) reconstruct a private stream.ArchView row by row
+// over the same shared decode.
 func cohortEligible(cfg Config, p Params) bool {
 	if CurrentCohortMode() == CohortOff {
 		return false
 	}
 	if !replayEligible(cfg, p) {
-		return false
-	}
-	if StreamNeedsOf(cfg.Core) != StreamPure {
 		return false
 	}
 	return p.SampleEvery == 0
@@ -297,7 +316,7 @@ func runCohort(reqs []CellRequest, claims []int, results []Result, outs []CellOu
 		req := reqs[ci]
 		outs[ci].Replayed = true
 		outs[ci].StreamFromStore = so.FromStore() || k > 0
-		m, err := newCohortMachine(req.Cfg, spec, p, &outs[ci], tr, pc)
+		m, err := newCohortMachine(req.Cfg, spec, p, rec, &outs[ci], tr, pc)
 		if err != nil {
 			panic(err)
 		}
@@ -305,7 +324,7 @@ func runCohort(reqs []CellRequest, claims []int, results []Result, outs []CellOu
 			StepBatch(b *stream.DecodedBatch, lo, hi int)
 		})
 		if !ok {
-			panic(fmt.Sprintf("sim: stream-pure machine kind %d lacks StepBatch", req.Cfg.Core))
+			panic(fmt.Sprintf("sim: cohort-eligible machine kind %d lacks StepBatch", req.Cfg.Core))
 		}
 		machines[k], steppers[k] = m, bs
 	}
@@ -396,13 +415,22 @@ func runCohort(reqs []CellRequest, claims []int, results []Result, outs []CellOu
 	cohortTotals.Lock()
 	cohortTotals.runs++
 	cohortTotals.cells += len(claims)
+	if cohortTotals.widths == nil {
+		cohortTotals.widths = make(map[int]int)
+	}
+	cohortTotals.widths[len(claims)]++
 	cohortTotals.Unlock()
 }
 
-// newCohortMachine builds one stream-pure member positioned at the
-// recording start: newReplayMachine minus the source attachment (the
-// member is stepped over shared batches, never through a source).
-func newCohortMachine(cfg Config, spec workloads.Spec, p Params, out *CellOutcome, tr *Tracker, pc *phaseCtx) (Machine, error) {
+// newCohortMachine builds one cohort member positioned at the recording
+// start: newReplayMachine minus the source attachment (the member is
+// stepped over shared batches, never through a source). Stream-pure
+// members share the frozen master/checkpoint memory; members that read
+// memory or architectural state (IMP, SVR) get a private clone wrapped
+// in a stream.ArchView that StepBatch advances row by row.
+func newCohortMachine(cfg Config, spec workloads.Spec, p Params, rec *stream.Recording, out *CellOutcome, tr *Tracker, pc *phaseCtx) (Machine, error) {
+	needs := StreamNeedsOf(cfg.Core)
+	wantView := needs == StreamMemory || needs == StreamArch
 	var inst *workloads.Instance
 	var ck *Checkpoint
 	if p.FastForward > 0 {
@@ -412,8 +440,14 @@ func newCohortMachine(cfg Config, spec workloads.Spec, p Params, out *CellOutcom
 		inst = &workloads.Instance{
 			Name: ck.Workload, Prog: ck.prog, Mem: ck.mem, Check: ck.check,
 		}
+		if wantView {
+			inst.Mem = ck.mem.Clone()
+		}
 	} else {
 		inst = cachedBuild(spec, p.Scale, pc)
+		if wantView {
+			inst = cloneInstance(inst)
+		}
 	}
 	m, err := NewMachine(cfg, inst)
 	if err != nil {
@@ -421,6 +455,13 @@ func newCohortMachine(cfg Config, spec workloads.Spec, p Params, out *CellOutcom
 	}
 	if ck != nil {
 		m.Restore(ck)
+	}
+	if wantView {
+		av, ok := m.(interface{ AttachArchView(*stream.ArchView) })
+		if !ok {
+			return nil, fmt.Errorf("sim: machine kind %d needs an arch view but cannot attach one", cfg.Core)
+		}
+		av.AttachArchView(stream.NewArchView(rec, inst.Mem))
 	}
 	return m, nil
 }

@@ -7,9 +7,12 @@ import (
 	"repro/internal/workloads"
 )
 
-// cohortTestConfigs returns four distinct stream-pure sibling configs
-// (two core kinds, two geometry variants) so a cohort has real claims
-// to produce — identical configs would collapse to one content key.
+// cohortTestConfigs returns distinct sibling configs spanning every
+// stream class — stream-pure (InO, OoO), memory-view (IMP), and
+// arch-view (SVR) — so a cohort has real claims to produce and every
+// per-member view kind is exercised in one lockstep walk. The first two
+// stay stream-pure for the chunk fuzzer. Identical configs would
+// collapse to one content key.
 func cohortTestConfigs() []Config {
 	a := MachineConfig(InO)
 	b := MachineConfig(OoO)
@@ -19,7 +22,10 @@ func cohortTestConfigs() []Config {
 	d := MachineConfig(OoO)
 	d.Label = "OoO-slowL2"
 	d.Hier.L2Latency += 4
-	return []Config{a, b, c, d}
+	e := MachineConfig(IMP)
+	f := SVRConfig(16)
+	g := SVRConfig(64)
+	return []Config{a, b, c, d, e, f, g}
 }
 
 // soloReplay runs one cell through the solo replay path (exactly what
@@ -68,10 +74,11 @@ func runCohortCells(t *testing.T, spec workloads.Spec, cfgs []Config, p Params) 
 }
 
 // TestCohortMatchesSolo is the fidelity contract of decode-once timing
-// cohorts: for every stream-pure core kind, plain and checkpointed,
-// a cell stepped in lockstep over shared decoded batches must produce a
-// bit-identical Result to the same cell replayed solo — and to the cell
-// running its emulator live.
+// cohorts: for every registered core kind — stream-pure, memory-view,
+// and SVR's arch-view — plain and checkpointed, a cell stepped in
+// lockstep over shared decoded batches must produce a bit-identical
+// Result to the same cell replayed solo — and to the cell running its
+// emulator live.
 func TestCohortMatchesSolo(t *testing.T) {
 	spec, err := workloads.Get("PR_KR")
 	if err != nil {
@@ -132,6 +139,40 @@ func TestCohortMatchesSolo(t *testing.T) {
 	})
 }
 
+// TestWideCohortMatchesSolo pins the widened cohorts this layer exists
+// for: a single cohort of four SVR geometry variants (each with its own
+// replay-backed ArchState view over the one shared decode) must plan as
+// one width-4 group and produce bit-identical Results to solo replay.
+// Run under -race it also proves the per-member views never share
+// mutable state.
+func TestWideCohortMatchesSolo(t *testing.T) {
+	spec, err := workloads.Get("PR_KR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{SVRConfig(8), SVRConfig(16), SVRConfig(32), SVRConfig(64)}
+	p := replayTestParams()
+
+	reqs := make([]CellRequest, len(cfgs))
+	for i, cfg := range cfgs {
+		reqs[i] = CellRequest{Cfg: cfg, Spec: spec, P: p}
+	}
+	groups := PlanCohorts(reqs, nil)
+	if len(groups) != 1 || len(groups[0]) != len(cfgs) {
+		t.Fatalf("PlanCohorts = %v, want one width-%d group", groups, len(cfgs))
+	}
+
+	results := runCohortCells(t, spec, cfgs, p)
+	for i, cfg := range cfgs {
+		solo := soloReplay(t, spec, cfg, p)
+		solo.Label = cfg.Label
+		if !reflect.DeepEqual(results[i], solo) {
+			t.Errorf("%s: wide cohort Result differs from solo replay:\ncohort %+v\nsolo   %+v",
+				cfg.Label, results[i], solo)
+		}
+	}
+}
+
 // TestPlanCohorts pins the grouping rules: adjacent eligible siblings
 // merge up to MaxCohortWidth, ineligible cells stay solo and split
 // runs, and differing windows never share a cohort.
@@ -144,17 +185,20 @@ func TestPlanCohorts(t *testing.T) {
 	ino, ooo, svr := MachineConfig(InO), MachineConfig(OoO), SVRConfig(16)
 	p2 := p
 	p2.Measure += 1
+	pSamp := p
+	pSamp.SampleEvery = 100
 
 	cells := []CellRequest{
-		{Cfg: ino, Spec: spec, P: p},  // 0 ┐ cohort
-		{Cfg: ooo, Spec: spec, P: p},  // 1 ┘
-		{Cfg: svr, Spec: spec, P: p},  // 2 solo (live-only)
-		{Cfg: ino, Spec: spec, P: p},  // 3 ┐ cohort
-		{Cfg: ooo, Spec: spec, P: p},  // 4 ┘
-		{Cfg: ino, Spec: spec, P: p2}, // 5 solo (different window)
+		{Cfg: ino, Spec: spec, P: p},     // 0 ┐
+		{Cfg: ooo, Spec: spec, P: p},     // 1 │ cohort (SVR joins via ArchState)
+		{Cfg: svr, Spec: spec, P: p},     // 2 ┘
+		{Cfg: svr, Spec: spec, P: pSamp}, // 3 solo (sampled window)
+		{Cfg: ino, Spec: spec, P: p},     // 4 ┐ cohort
+		{Cfg: ooo, Spec: spec, P: p},     // 5 ┘
+		{Cfg: ino, Spec: spec, P: p2},    // 6 solo (different window)
 	}
 	got := PlanCohorts(cells, nil)
-	want := [][]int{{0, 1}, {2}, {3, 4}, {5}}
+	want := [][]int{{0, 1, 2}, {3}, {4, 5}, {6}}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("PlanCohorts = %v, want %v", got, want)
 	}
@@ -170,8 +214,8 @@ func TestPlanCohorts(t *testing.T) {
 	}
 
 	// An explicit index subset groups only within the subset, in order.
-	got = PlanCohorts(cells, []int{1, 3, 5})
-	want = [][]int{{1, 3}, {5}}
+	got = PlanCohorts(cells, []int{1, 4, 6})
+	want = [][]int{{1, 4}, {6}}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("PlanCohorts(subset) = %v, want %v", got, want)
 	}

@@ -63,9 +63,10 @@ type Machine interface {
 	// SetSource replaces the machine's instruction feed with src — the
 	// execute-once, time-many hook: the scheduler attaches a
 	// stream.ReplaySource decoded from a shared recording instead of the
-	// default live emulator. Only valid before any stepping. Panics for
-	// live-only machines (SVR): their timing feeds back into the
-	// functional path, so they cannot consume a recorded stream.
+	// default live emulator. Only valid before any stepping. Machines
+	// whose companion reads architectural state (SVR) require a source
+	// that is also a stream.ArchState with a memory image attached, and
+	// repoint the companion at it; they panic on a bare source.
 	SetSource(src stream.InstrSource)
 }
 
@@ -83,9 +84,15 @@ const (
 	// (the IMP prefetcher chasing indirections): replay needs a private
 	// memory image kept in lockstep by applying decoded stores.
 	StreamMemory
-	// StreamLive consumers feed timing back into the functional path
-	// (SVR's register scavenging and runahead loads): the cell must run
-	// live and the scheduler falls back to a LiveSource transparently.
+	// StreamArch consumers read architectural registers, flags and
+	// memory at the retire point (SVR's value scavenging): replay needs
+	// the full stream.ArchState view — the decoder's tracked register
+	// file plus a private lockstep memory image.
+	StreamArch
+	// StreamLive consumers feed timing back into the functional path:
+	// the cell must run live and the scheduler falls back to a
+	// LiveSource transparently. No registered kind needs this anymore;
+	// it remains the safe fallback for unregistered kinds.
 	StreamLive
 )
 
@@ -120,7 +127,7 @@ func StreamNeedsOf(kind CoreKind) StreamNeeds {
 func init() {
 	RegisterMachine(InO, newInOrderMachine, StreamPure)
 	RegisterMachine(IMP, newInOrderMachine, StreamMemory)
-	RegisterMachine(SVR, newInOrderMachine, StreamLive)
+	RegisterMachine(SVR, newInOrderMachine, StreamArch)
 	RegisterMachine(OoO, newOoOMachine, StreamPure)
 }
 
@@ -195,8 +202,9 @@ type inOrderMachine struct {
 	cpu    *emu.CPU
 	src    stream.InstrSource // the core's instruction feed: live CPU by default, replay when attached
 	core   *inorder.Core
-	eng    *svr.Engine // non-nil only for SVR
-	warmed bool        // a warmed fast-forward ran; Checkpoint snapshots hierarchy state
+	eng    *svr.Engine      // non-nil only for SVR
+	view   *stream.ArchView // cohort-member arch view advanced during StepBatch, else nil
+	warmed bool             // a warmed fast-forward ran; Checkpoint snapshots hierarchy state
 }
 
 func newInOrderMachine(cfg Config, inst *workloads.Instance, h *cache.Hierarchy) Machine {
@@ -221,17 +229,38 @@ func newInOrderMachine(cfg Config, inst *workloads.Instance, h *cache.Hierarchy)
 func (m *inOrderMachine) Step(n uint64) bool { return m.core.Run(m.src, n) == n }
 
 // StepBatch issues rows [lo, hi) of a shared decoded batch — the cohort
-// driver's lockstep entry point, valid only for stream-pure machines.
+// driver's lockstep entry point. Members with an attached arch view
+// (SVR, IMP) advance it past each row before the row issues, mirroring
+// the live Step-then-Issue ordering.
 func (m *inOrderMachine) StepBatch(b *stream.DecodedBatch, lo, hi int) {
-	if m.eng != nil {
-		panic("sim: SVR machines are live-only; cannot step a decoded batch")
+	if m.view != nil {
+		m.core.RunBatchView(b, lo, hi, m.view)
+		return
 	}
 	m.core.RunBatch(b, lo, hi)
 }
 
+// AttachArchView installs the member's private architectural view for
+// cohort batch stepping and repoints the companion engine at it. The
+// view's memory image must be the same one any companion reads (the
+// member's private instance clone).
+func (m *inOrderMachine) AttachArchView(v *stream.ArchView) {
+	m.view = v
+	if m.eng != nil {
+		m.eng.Arch = v
+	}
+}
+
 func (m *inOrderMachine) SetSource(src stream.InstrSource) {
 	if m.eng != nil {
-		panic("sim: SVR machines are live-only; cannot attach a replay source")
+		// The engine scavenges architectural state, so the feed must
+		// also serve as the engine's view (a ReplaySource with a memory
+		// image attached).
+		as, ok := src.(stream.ArchState)
+		if !ok {
+			panic("sim: SVR machines need an ArchState-bearing source")
+		}
+		m.eng.Arch = as
 	}
 	m.src = src
 }

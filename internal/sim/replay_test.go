@@ -12,9 +12,10 @@ func replayTestParams() Params {
 }
 
 // TestReplayMatchesLive is the fidelity contract of execute-once,
-// time-many: for every core kind, a cell fed by a ReplaySource must
-// produce a bit-identical Result to the same cell running its emulator
-// live — and the live-only kind (SVR) must be detected as such.
+// time-many: for every core kind — including SVR, whose engine reads
+// architectural state through the replay-backed ArchState view — a cell
+// fed by a ReplaySource must produce a bit-identical Result to the same
+// cell running its emulator live.
 func TestReplayMatchesLive(t *testing.T) {
 	spec, err := workloads.Get("PR_KR")
 	if err != nil {
@@ -26,25 +27,9 @@ func TestReplayMatchesLive(t *testing.T) {
 			cfg := MachineConfig(kind)
 			live := Run(spec, cfg, p)
 
-			if StreamNeedsOf(kind) == StreamLive {
-				if replayEligible(cfg, p) {
-					t.Fatal("live-only kind reported replay-eligible")
-				}
-				// The machine itself must refuse a replay source rather
-				// than silently desynchronize.
-				m, err := NewMachine(cfg, spec.Build(p.Scale))
-				if err != nil {
-					t.Fatal(err)
-				}
-				defer func() {
-					if recover() == nil {
-						t.Fatal("SetSource on a live-only machine did not panic")
-					}
-				}()
-				m.SetSource(nil)
-				return
+			if !replayEligible(cfg, p) {
+				t.Fatal("kind not replay-eligible")
 			}
-
 			recd, _ := cachedRecording(spec, cfg, p, nil, nil)
 			if recd.N != p.Warmup+p.Measure {
 				t.Fatalf("recording has %d records, want %d", recd.N, p.Warmup+p.Measure)
@@ -77,7 +62,7 @@ func TestReplayMatchesLiveCheckpointed(t *testing.T) {
 		Warm:        true,
 		Measure:     60_000,
 	}
-	for _, kind := range []CoreKind{InO, IMP, OoO} {
+	for _, kind := range []CoreKind{InO, IMP, OoO, SVR} {
 		t.Run(kind.String(), func(t *testing.T) {
 			cfg := MachineConfig(kind)
 
@@ -103,8 +88,8 @@ func TestReplayMatchesLiveCheckpointed(t *testing.T) {
 
 // TestMatrixReplayMatchesLive runs a small grid cold with replay off and
 // again with replay on, asserting every cell Result is bit-identical and
-// the scheduler accounted the replay/live split correctly (SVR cells
-// fall back to live).
+// the scheduler accounted the replay/live split correctly (every
+// registered kind, SVR included, is served from the recording).
 func TestMatrixReplayMatchesLive(t *testing.T) {
 	prevCache := SetRunCacheEnabled(false)
 	defer SetRunCacheEnabled(prevCache)
@@ -128,15 +113,15 @@ func TestMatrixReplayMatchesLive(t *testing.T) {
 	SetReplayMode(ReplayOn)
 	repRS := runMatrix(cfgs, specs, p)
 
-	if want := 3 * len(specs); repRS.Stats.Replayed != want {
+	if want := len(cfgs) * len(specs); repRS.Stats.Replayed != want {
 		t.Errorf("replayed %d cells, want %d", repRS.Stats.Replayed, want)
 	}
 	if liveRS.Stats.Replayed != 0 {
 		t.Errorf("replay-off run replayed %d cells", liveRS.Stats.Replayed)
 	}
 	for _, c := range repRS.Cells {
-		if replayed := c.Label != "SVR16"; c.Replayed != replayed {
-			t.Errorf("cell %s/%s: Replayed=%v, want %v", c.Label, c.Workload, c.Replayed, replayed)
+		if !c.Replayed {
+			t.Errorf("cell %s/%s: Replayed=false, want true", c.Label, c.Workload)
 		}
 	}
 	for _, cfg := range cfgs {

@@ -16,8 +16,8 @@ import (
 // the same build-cache/singleflight machinery as the shared
 // checkpoints), fanned out to every replay-eligible sibling cell
 // (newReplayMachine). Core kinds declare their stream requirement at
-// registration (StreamNeeds); SVR cells fall back to a live source
-// transparently.
+// registration (StreamNeeds); SVR cells consume the recording through a
+// replay-backed architectural-state view (stream.ArchState).
 
 // ReplayMode selects how the scheduler feeds instruction streams to
 // grid cells.
@@ -26,12 +26,12 @@ type ReplayMode int
 // Replay modes (the CLI's -replay=on|off|auto).
 const (
 	// ReplayAuto records once per workload and replays into every
-	// eligible cell; ineligible cells (SVR, multi-region windows) run
-	// live. Results are bit-identical either way, so this is the default.
+	// eligible cell; ineligible cells (multi-region windows) run live.
+	// Results are bit-identical either way, so this is the default.
 	ReplayAuto ReplayMode = iota
-	// ReplayOn behaves like ReplayAuto (eligibility still applies — SVR
-	// can never replay) but states the intent explicitly; surfaces report
-	// the replay/live split so a forced run can be audited.
+	// ReplayOn behaves like ReplayAuto (eligibility still applies) but
+	// states the intent explicitly; surfaces report the replay/live
+	// split so a forced run can be audited.
 	ReplayOn
 	// ReplayOff disables recording and replay entirely: every cell runs
 	// the emulator in lockstep, as before this layer existed.
@@ -189,16 +189,19 @@ func cachedRecording(spec workloads.Spec, cfg Config, p Params, tr *Tracker, pc 
 // newReplayMachine builds a machine of cfg fed by the shared recording
 // instead of a live emulator. Stream-pure kinds (InO, OoO) share the
 // frozen master/checkpoint memory without cloning — nothing in the cell
-// reads or writes data memory. StreamMemory kinds (IMP) get a private
-// clone that the replay source keeps in lockstep by applying decoded
-// stores, so ahead-of-stream dereferences see exactly the bytes a live
-// run would have shown. out (nil-safe) is annotated with whether the
-// checkpoint came from the store. The attached source is also returned
-// so the caller can Recycle its decode scratch once the cell finishes.
+// reads or writes data memory. StreamMemory (IMP) and StreamArch (SVR)
+// kinds get a private clone that the replay source keeps in lockstep by
+// applying decoded stores, so ahead-of-stream dereferences — and the
+// SVR engine's retire-point reads through the source's ArchState view —
+// see exactly the bytes a live run would have shown. out (nil-safe) is
+// annotated with whether the checkpoint came from the store. The
+// attached source is also returned so the caller can Recycle its decode
+// scratch once the cell finishes.
 func newReplayMachine(cfg Config, spec workloads.Spec, p Params,
 	rec *stream.Recording, master *workloads.Instance,
 	out *CellOutcome, tr *Tracker, pc *phaseCtx) (Machine, *stream.ReplaySource, error) {
 	needs := StreamNeedsOf(cfg.Core)
+	wantMem := needs == StreamMemory || needs == StreamArch
 	var inst *workloads.Instance
 	var ck *Checkpoint
 	if p.FastForward > 0 {
@@ -210,12 +213,12 @@ func newReplayMachine(cfg Config, spec workloads.Spec, p Params,
 		inst = &workloads.Instance{
 			Name: ck.Workload, Prog: ck.prog, Mem: ck.mem, Check: ck.check,
 		}
-		if needs == StreamMemory {
+		if wantMem {
 			inst.Mem = ck.mem.Clone()
 		}
 	} else {
 		inst = master
-		if needs == StreamMemory {
+		if wantMem {
 			inst = cloneInstance(master)
 		}
 	}
@@ -227,7 +230,7 @@ func newReplayMachine(cfg Config, spec workloads.Spec, p Params,
 		m.Restore(ck)
 	}
 	var src *stream.ReplaySource
-	if needs == StreamMemory {
+	if wantMem {
 		src = stream.NewReplayWithMem(rec, inst.Mem)
 	} else {
 		src = stream.NewReplay(rec)

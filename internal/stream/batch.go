@@ -27,13 +27,14 @@ type DecoderState struct {
 	ExpPC    int
 	PrevAddr uint64
 	Regs     [isa.NumRegs]int64
+	Flags    int
 }
 
 // State snapshots the source's decode position.
 func (s *ReplaySource) State() DecoderState {
 	return DecoderState{
 		Pos: s.pos, Done: s.done, Seq: s.seq,
-		ExpPC: s.expPC, PrevAddr: s.prevAddr, Regs: s.regs,
+		ExpPC: s.expPC, PrevAddr: s.prevAddr, Regs: s.regs, Flags: s.flags,
 	}
 }
 
@@ -43,6 +44,7 @@ func (s *ReplaySource) State() DecoderState {
 func (s *ReplaySource) SetState(st DecoderState) {
 	s.pos, s.done, s.seq = st.Pos, st.Done, st.Seq
 	s.expPC, s.prevAddr, s.regs = st.ExpPC, st.PrevAddr, st.Regs
+	s.flags = st.Flags
 }
 
 // DecodedBatch is one chunk of a Recording decoded into SoA columns:

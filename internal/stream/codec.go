@@ -55,6 +55,16 @@ type Recording struct {
 	StartSeq uint64 // Seq of the first record
 	StartPC  int    // PC of the first record
 	Halted   bool   // the program halted within the recorded window
+
+	// StartRegs/StartFlags are the architectural register file and
+	// compare flags at the recording start point. Both codec ends seed
+	// their tracked register file from StartRegs, which makes the
+	// decoder's file architecturally exact at every record boundary (not
+	// merely self-consistent) — the property replay-backed ArchState
+	// views rely on — and spares the encoder the first-appearance deltas
+	// for registers live across the start point.
+	StartRegs  [isa.NumRegs]int64
+	StartFlags int
 }
 
 // Bytes returns the encoded size of the stream.
@@ -229,6 +239,12 @@ func (e *Encoder) Finish() *Recording {
 // shorter than n means the program halted (Recording.Halted).
 func Record(cpu *emu.CPU, n uint64) (*Recording, error) {
 	e := NewEncoder(cpu.Prog)
+	// Seed the tracked register file (and record the seed) from the
+	// CPU's architectural state at the start point, so decoders
+	// reconstruct exact register values from the first record on.
+	e.regs = cpu.R
+	e.rec.StartRegs = cpu.R
+	e.rec.StartFlags = cpu.Flags
 	// Pre-size for the common ~2.5 bytes/instr so the append loop does not
 	// repeatedly re-grow a multi-megabyte buffer.
 	if n > 0 && n < 1<<32 {

@@ -30,6 +30,7 @@ type ReplaySource struct {
 	expPC    int
 	prevAddr uint64
 	regs     [isa.NumRegs]int64 // tracked register file, mirrors the encoder's
+	flags    int                // sign of the last decoded compare, mirrors emu.CPU.Flags
 	err      error
 }
 
@@ -51,9 +52,28 @@ func NewReplayWithMem(r *Recording, m *mem.Memory) *ReplaySource {
 		mem:   m,
 		seq:   r.StartSeq,
 		expPC: r.StartPC,
+		regs:  r.StartRegs,
+		flags: r.StartFlags,
 	}
 	return s
 }
+
+// The decoder's tracked register file is seeded from the recording's
+// architectural start state and advanced by the same write-back rules
+// as execution, so a source with a memory image attached is a complete
+// replay-backed ArchState: consumers (the SVR engine) observe exactly
+// the values a lockstep emulator would show after the most recent Next.
+
+// Reg returns the architectural value of register r at the stream
+// position.
+func (s *ReplaySource) Reg(r isa.Reg) int64 { return s.regs[r] }
+
+// ReadMem reads data memory at the stream position. Requires an
+// attached memory image (NewReplayWithMem).
+func (s *ReplaySource) ReadMem(addr uint64, size uint8) uint64 { return s.mem.Read(addr, size) }
+
+// CmpFlags returns the sign of the last compare at the stream position.
+func (s *ReplaySource) CmpFlags() int { return s.flags }
 
 // Err returns the first decode error, if any. A nil error with Next
 // having returned false means the stream ended cleanly.
@@ -185,6 +205,11 @@ func (s *ReplaySource) Next(rec *emu.DynInstr) bool {
 
 	writeBack(&s.regs, in, srcA, srcB, loadVal)
 
+	if in.Op == isa.OpCmp || in.Op == isa.OpCmpI {
+		// srcB is already the immediate for cmpi (decode rule above), so
+		// this mirrors Step's flag update for both compare forms.
+		s.flags = emu.CmpSign(srcA, srcB)
+	}
 	if s.mem != nil && in.Op == isa.OpStore {
 		s.mem.Write(addr, uint64(srcB), in.Size)
 	}

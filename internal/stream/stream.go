@@ -10,20 +10,41 @@
 // (ReplaySource decoding the compact recording), instead of re-running
 // the emulator in lockstep inside every cell.
 //
-// The one exception is a timing model whose behaviour feeds back into
-// the functional path: the SVR engine scavenges live architectural
-// register values and issues speculative loads against the live memory
-// image, so SVR cells keep a LiveSource (the scheduler detects this per
-// core kind and falls back transparently).
+// Timing models that read architectural state (the SVR engine
+// scavenges register values and dereferences memory at the retire
+// point) consume it through the ArchState interface: live machines
+// expose the emulator, replayed machines expose the decoder's tracked
+// register file plus a private memory clone kept in lockstep by decoded
+// stores — so even those cells replay from recordings.
 package stream
 
-import "repro/internal/emu"
+import (
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
 
 // InstrSource produces the dynamic instruction stream a timing model
 // consumes: one DynInstr per Next call, false once the stream ends
 // (program halt, or end of a recording).
 type InstrSource interface {
 	Next(rec *emu.DynInstr) bool
+}
+
+// ArchState is the architectural state a timing model may read at the
+// retire point of the instruction it was just handed: register values,
+// data memory, and the compare flags. The live emulator (emu.CPU)
+// implements it directly; replayed cells observe the same values
+// through the decoder's tracked register file (ReplaySource, ArchView).
+// By contract the state reflects execution up to and including the most
+// recent DynInstr the consumer received — exactly what a lockstep
+// emulator would show after Step.
+type ArchState interface {
+	// Reg returns the architectural value of register r.
+	Reg(r isa.Reg) int64
+	// ReadMem returns size bytes of data memory at addr, zero-extended.
+	ReadMem(addr uint64, size uint8) uint64
+	// CmpFlags returns the sign of the last compare: -1, 0, +1.
+	CmpFlags() int
 }
 
 // LiveSource feeds a timing model straight from the functional emulator:

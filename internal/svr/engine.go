@@ -7,6 +7,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/metrics"
+	"repro/internal/stream"
 	"repro/internal/trace"
 )
 
@@ -49,9 +50,13 @@ func (s Stats) Add(o Stats) Stats {
 // Engine is the SVR microarchitecture state. It implements
 // inorder.Companion.
 type Engine struct {
-	Opt    Options
-	H      *cache.Hierarchy
-	CPU    *emu.CPU     // architectural state, for value access and scavenging
+	Opt Options
+	H   *cache.Hierarchy
+	// Arch is the architectural state the engine scavenges values from:
+	// the live emulator in lockstep cells, or a replay-backed view
+	// (stream.ReplaySource, stream.ArchView) in replayed cells. Both
+	// expose identical post-retire values, so the engine is agnostic.
+	Arch   stream.ArchState
 	Tracer trace.Tracer // optional runahead event tracing
 
 	SD *StrideDetector
@@ -85,14 +90,15 @@ type Engine struct {
 	fillDist *metrics.Histogram // SVI lane issue-to-fill distance
 }
 
-// New builds an engine attached to the given hierarchy and emulator CPU.
+// New builds an engine attached to the given hierarchy and
+// architectural-state view (a live emu.CPU, or a replay-backed view).
 // Options are normalized (see Options.Normalize).
-func New(opt Options, h *cache.Hierarchy, cpu *emu.CPU) *Engine {
+func New(opt Options, h *cache.Hierarchy, arch stream.ArchState) *Engine {
 	opt = opt.Normalize()
 	e := &Engine{
 		Opt:        opt,
 		H:          h,
-		CPU:        cpu,
+		Arch:       arch,
 		SD:         NewStrideDetector(opt.SDEntries),
 		RF:         NewRegFile(opt.SRFRegs, opt.VectorLen, opt.Recycle),
 		LB:         NewLoopBound(opt.LBDSize),
@@ -696,10 +702,11 @@ func laneOperand(vec *SRFReg, isVec bool, scalar int64, i int) (val, ready int64
 	return l.Val, l.Ready, true
 }
 
-// loadValue functionally reads the speculative lane value from the memory
-// image (the hardware reads the same bytes out of the cache).
+// loadValue functionally reads the speculative lane value from the
+// architectural memory view (the hardware reads the same bytes out of
+// the cache).
 func loadValue(e *Engine, addr uint64, size uint8) int64 {
-	return int64(e.CPU.Mem.Read(addr, size))
+	return int64(e.Arch.ReadMem(addr, size))
 }
 
 // predictLanes chooses how many scalars to issue this round (§IV-B2).
@@ -719,7 +726,7 @@ func (e *Engine) predictLanes(sd *SDEntry) int {
 		return clampLanes(rem, n)
 	}
 	lbdCV := func() (int, bool) {
-		rem, ok := lb.PredictCV(func(r isa.Reg) int64 { return e.CPU.Reg(r) })
+		rem, ok := lb.PredictCV(e.Arch.Reg)
 		if !ok {
 			return 0, false
 		}
